@@ -1,0 +1,44 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race vet cover bench bench-full experiments examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Reduced-scale benchmark pass (one iteration per experiment).
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Full-scale benchmark pass: reproduces the EXPERIMENTS.md workloads.
+bench-full:
+	REPRO_BENCH_SCALE=1 $(GO) test -bench=. -benchmem -benchtime=1x -timeout=2h .
+
+# Regenerate every experiment table at full scale (EXPERIMENTS.md source).
+experiments:
+	$(GO) run ./cmd/smallworld -e all -scale 1 -seed 1
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/milgram
+	$(GO) run ./examples/internet
+	$(GO) run ./examples/trajectory
+	$(GO) run ./examples/distributed
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunGeneratesAllFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates real figures")
+	}
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "-scale", "0.02", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"fig_f1_trajectory.svg", "fig_e4_hops.svg", "fig_e2_failure.svg", "fig_e12_failures.svg",
+	} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.HasPrefix(string(data), "<svg") {
+			t.Fatalf("%s is not SVG", name)
+		}
+	}
+}

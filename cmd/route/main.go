@@ -1,0 +1,134 @@
+// route runs a single routing episode on a graph file produced by girgen
+// (or on a freshly sampled GIRG) and prints the path, optionally with the
+// per-hop weight/objective trajectory of Figure 1.
+//
+// Examples:
+//
+//	girgen -n 100000 -out g.girg && route -in g.girg -s 3 -t 99 -trace
+//	route -n 50000 -proto phi-dfs -pairs 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/girg"
+	"repro/internal/graph"
+	"repro/internal/graphio"
+	"repro/internal/route"
+	"repro/internal/xrand"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "route:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("route", flag.ContinueOnError)
+	var (
+		in    = fs.String("in", "", "graph file from girgen (default: sample a fresh GIRG)")
+		n     = fs.Float64("n", 10000, "GIRG size when sampling")
+		seed  = fs.Uint64("seed", 1, "random seed")
+		s     = fs.Int("s", -1, "source vertex (-1 = random giant vertex)")
+		t     = fs.Int("t", -1, "target vertex (-1 = random giant vertex)")
+		proto = fs.String("proto", "greedy", "protocol: greedy | greedy+lookahead | phi-dfs | history | gravity-pressure")
+		pairs = fs.Int("pairs", 1, "number of random pairs to route (when s/t unset)")
+		trace = fs.Bool("trace", false, "print the per-hop weight/objective trajectory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		g   *graph.Graph
+		err error
+	)
+	if *in != "" {
+		f, err2 := os.Open(*in)
+		if err2 != nil {
+			return err2
+		}
+		g, err = graphio.Read(f)
+		f.Close()
+	} else {
+		p := girg.DefaultParams(*n)
+		p.FixedN = true
+		g, err = girg.Generate(p, *seed, girg.Options{})
+	}
+	if err != nil {
+		return err
+	}
+	var protocol core.Protocol
+	for _, pr := range core.Protocols() {
+		if pr.String() == *proto {
+			protocol = pr
+		}
+	}
+	if protocol == 0 {
+		return fmt.Errorf("unknown protocol %q", *proto)
+	}
+
+	giant := graph.GiantComponent(g)
+	if len(giant) < 2 {
+		return fmt.Errorf("giant component too small")
+	}
+	rng := xrand.New(*seed + 1)
+	episodes := *pairs
+	if *s >= 0 && *t >= 0 {
+		episodes = 1
+	}
+	for i := 0; i < episodes; i++ {
+		src, dst := *s, *t
+		if src < 0 {
+			src = giant[rng.IntN(len(giant))]
+		}
+		if dst < 0 {
+			dst = giant[rng.IntN(len(giant))]
+		}
+		if src == dst {
+			continue
+		}
+		if src >= g.N() || dst >= g.N() {
+			return fmt.Errorf("vertex out of range (n = %d)", g.N())
+		}
+		nw := &core.Network{
+			Graph: g,
+			Label: "route",
+			NewObjective: func(t int) route.Objective {
+				return route.NewStandard(g, t)
+			},
+		}
+		res, err := nw.Route(protocol, src, dst)
+		if err != nil {
+			return err
+		}
+		status := "FAILED"
+		if res.Success {
+			status = "ok"
+		}
+		bfs := graph.BFSDistance(g, src, dst)
+		stretch := "-"
+		if res.Success && bfs > 0 {
+			stretch = fmt.Sprintf("%.3f", float64(res.Moves)/float64(bfs))
+		}
+		fmt.Printf("%s %d -> %d: %s moves=%d unique=%d bfs=%d stretch=%s\n",
+			protocol, src, dst, status, res.Moves, res.Unique, bfs, stretch)
+		if *trace {
+			obj := route.NewStandard(g, dst)
+			for i, h := range route.Trajectory(g, obj, res) {
+				score := fmt.Sprintf("%.4g", h.Score)
+				if math.IsInf(h.Score, 1) {
+					score = "inf"
+				}
+				fmt.Printf("  hop %3d: v=%-8d w=%-10.2f phi=%s\n", i, h.V, h.W, score)
+			}
+		}
+	}
+	return nil
+}

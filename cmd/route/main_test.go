@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/girg"
+	"repro/internal/graphio"
+)
+
+func writeTestGraph(t *testing.T) string {
+	t.Helper()
+	p := girg.DefaultParams(400)
+	p.FixedN = true
+	g, err := girg.Generate(p, 11, girg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.girg")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := graphio.Write(f, g); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunOnFile(t *testing.T) {
+	path := writeTestGraph(t)
+	if err := run([]string{"-in", path, "-pairs", "3", "-seed", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFreshGIRG(t *testing.T) {
+	if err := run([]string{"-n", "400", "-pairs", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithTrace(t *testing.T) {
+	path := writeTestGraph(t)
+	if err := run([]string{"-in", path, "-pairs", "1", "-trace"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllProtocols(t *testing.T) {
+	path := writeTestGraph(t)
+	for _, proto := range []string{"greedy", "phi-dfs", "history", "gravity-pressure"} {
+		if err := run([]string{"-in", path, "-pairs", "2", "-proto", proto}); err != nil {
+			t.Errorf("protocol %s: %v", proto, err)
+		}
+	}
+}
+
+func TestRunExplicitPair(t *testing.T) {
+	path := writeTestGraph(t)
+	if err := run([]string{"-in", path, "-s", "0", "-t", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTestGraph(t)
+	cases := [][]string{
+		{"-in", "/nonexistent/file"},
+		{"-in", path, "-proto", "bogus"},
+		{"-in", path, "-s", "0", "-t", "999999"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

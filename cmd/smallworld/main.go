@@ -1,0 +1,90 @@
+// smallworld runs the paper-reproduction experiments (DESIGN.md Section 4)
+// and prints their tables. Each experiment regenerates one claim of
+// "Greedy Routing and the Algorithmic Small-World Phenomenon".
+//
+// Examples:
+//
+//	smallworld -list
+//	smallworld -e E4                # one experiment at full scale
+//	smallworld -e all -scale 0.1    # quick pass over everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "smallworld:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("smallworld", flag.ContinueOnError)
+	var (
+		list   = fs.Bool("list", false, "list experiments and exit")
+		id     = fs.String("e", "", "experiment id (E1..E11, F1) or 'all'")
+		scale  = fs.Float64("scale", 1, "workload scale (1 = full tables of EXPERIMENTS.md)")
+		seed   = fs.Uint64("seed", 1, "random seed")
+		format = fs.String("format", "text", "output format: text | csv | json")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list || *id == "" {
+		fmt.Println("experiments:")
+		for _, e := range expt.All() {
+			fmt.Printf("  %-4s %s\n       claim: %s\n", e.ID, e.Title, e.Claim)
+		}
+		if *id == "" && !*list {
+			fmt.Println("\nrun one with: smallworld -e <id> [-scale 0.1]")
+		}
+		return nil
+	}
+	cfg := expt.Config{Seed: *seed, Scale: *scale}
+	var selected []expt.Experiment
+	if strings.EqualFold(*id, "all") {
+		selected = expt.All()
+	} else {
+		e, ok := expt.ByID(*id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", *id)
+		}
+		selected = []expt.Experiment{e}
+	}
+	for _, e := range selected {
+		start := time.Now()
+		table, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		switch *format {
+		case "text":
+			fmt.Printf("claim: %s\n", e.Claim)
+			fmt.Print(table.Format())
+			fmt.Printf("(%s in %v, seed %d, scale %g)\n\n", e.ID, time.Since(start).Round(time.Millisecond), *seed, *scale)
+		case "csv":
+			out, err := table.FormatCSV()
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
+		case "json":
+			out, err := table.FormatJSON()
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
+		default:
+			return fmt.Errorf("unknown format %q", *format)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNoArgsListsExperiments(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-e", "E99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunOneExperimentTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment")
+	}
+	if err := run([]string{"-e", "E5", "-scale", "0.02", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFormats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment")
+	}
+	for _, f := range []string{"csv", "json"} {
+		if err := run([]string{"-e", "E5", "-scale", "0.02", "-format", f}); err != nil {
+			t.Errorf("format %s: %v", f, err)
+		}
+	}
+	if err := run([]string{"-e", "E5", "-scale", "0.02", "-format", "bogus"}); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestRunCaseInsensitive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment")
+	}
+	if err := run([]string{"-e", "e5", "-scale", "0.02"}); err != nil {
+		t.Fatal(err)
+	}
+}

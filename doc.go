@@ -1,0 +1,7 @@
+// Package repro is a reproduction of "Greedy Routing and the
+// Algorithmic Small-World Phenomenon" (Bringmann, Keusch, Lengler, Maus,
+// Molla; PODC 2017). See README.md for the user guide, DESIGN.md for the
+// system inventory and per-experiment index, and EXPERIMENTS.md for
+// paper-vs-measured results. The root package holds the benchmark harness
+// (bench_test.go): one benchmark per reproduced table/figure.
+package repro

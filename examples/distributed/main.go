@@ -1,0 +1,75 @@
+// Distributed: the paper stresses that greedy routing and Algorithm 2 are
+// genuinely local protocols — every node knows only its own address, its
+// direct neighbors' addresses and the target address on the packet, and
+// only one node is awake at a time. This example runs both protocols inside
+// the message-passing simulator of internal/dist, whose View type makes
+// non-local access impossible by construction, and cross-checks the
+// distributed executions against the centralized reference implementations.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/dist"
+	"repro/internal/girg"
+	"repro/internal/graph"
+	"repro/internal/route"
+	"repro/internal/xrand"
+)
+
+func main() {
+	params := girg.DefaultParams(20000)
+	params.Lambda = 0.02 // sparse, so pure greedy sometimes needs patching
+	params.FixedN = true
+	g, err := girg.Generate(params, 99, girg.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := dist.NewSimulator(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	giant := graph.GiantComponent(g)
+	rng := xrand.New(7)
+	fmt.Printf("network: %d nodes, %d links; every node sees only its neighbors\n\n",
+		g.N(), g.M())
+
+	const episodes = 200
+	var greedyOK, dfsOK, conform int
+	var dfsHops int
+	for i := 0; i < episodes; i++ {
+		s := giant[rng.IntN(len(giant))]
+		t := giant[rng.IntN(len(giant))]
+		if s == t {
+			continue
+		}
+		gres, err := sim.Run(dist.GreedyProgram{}, s, t, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if gres.Delivered {
+			greedyOK++
+		}
+		dres, err := sim.Run(dist.PhiDFSProgram{}, s, t, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if dres.Delivered {
+			dfsOK++
+			dfsHops += dres.Hops
+		}
+		// Conformance: the distributed run matches the centralized
+		// implementation transmission for transmission.
+		central := route.PhiDFS{}.Route(g, route.NewStandard(g, t), s)
+		if central.Success == dres.Delivered && central.Moves == dres.Hops {
+			conform++
+		}
+	}
+	fmt.Printf("distributed greedy (Algorithm 1):   delivered %d/%d packets\n", greedyOK, episodes)
+	fmt.Printf("distributed Phi-DFS (Algorithm 2):  delivered %d/%d packets, mean %.1f transmissions\n",
+		dfsOK, episodes, float64(dfsHops)/float64(dfsOK))
+	fmt.Printf("conformance with centralized impl:  %d/%d episodes identical\n", conform, episodes)
+	fmt.Println("\nevery transmission went to a direct neighbor; every decision used only")
+	fmt.Println("local knowledge — the locality claim of Section 2.2, enforced by types.")
+}

@@ -1,0 +1,66 @@
+// Internet: Krioukov et al. asked whether routing protocols "having no full
+// view of the network topology can still efficiently route messages" through
+// the internet. Boguñá et al. showed the internet embeds into hyperbolic
+// space; this example samples such a hyperbolic topology, routes packets by
+// pure geometry (forward to the neighbor hyperbolically closest to the
+// destination), and shows what Corollary 3.6 proves: near-optimal paths with
+// high success, and guaranteed delivery once local backtracking is added.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/hrg"
+)
+
+func main() {
+	// An internet-like topology: hyperbolic random graph with degree
+	// exponent beta = 2 * 0.55 + 1 = 2.1, close to measured AS-graph
+	// exponents.
+	params := hrg.Params{N: 20000, AlphaH: 0.55, CH: 0, TH: 0}
+	fmt.Printf("autonomous systems: %d, disk radius R = %.1f, degree exponent beta = %.1f\n",
+		params.N, params.R(), params.Beta())
+
+	// Geometric greedy forwarding (the phi_H objective of Section 11).
+	nw, err := core.NewHRG(params, 2026, true /* hyperbolic objective */)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("topology: %d links, giant component %.1f%%\n",
+		nw.Graph.M(), 100*float64(len(nw.Giant()))/float64(nw.Graph.N()))
+
+	rep, err := core.RunMilgram(nw, core.MilgramConfig{
+		Pairs:          400,
+		Seed:           7,
+		ComputeStretch: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ngeometric greedy forwarding:\n")
+	fmt.Printf("  delivery rate: %.1f%% [%.1f%%, %.1f%%]\n",
+		100*rep.Success.P, 100*rep.Success.Lo, 100*rep.Success.Hi)
+	fmt.Printf("  mean path: %.2f hops, stretch %.3f over shortest paths\n",
+		rep.MeanHops, rep.MeanStretch)
+
+	// Add the paper's Algorithm 2 patching: local state only, delivery
+	// guaranteed within a component (Theorem 3.4 via Corollary 3.6).
+	for _, proto := range []core.Protocol{core.ProtoPhiDFS, core.ProtoGravityPressure} {
+		prep, err := core.RunMilgram(nw, core.MilgramConfig{
+			Pairs:          400,
+			Protocol:       proto,
+			Seed:           7,
+			ComputeStretch: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwith %s patching:\n", proto)
+		fmt.Printf("  delivery rate: %.1f%%, mean path %.2f hops, stretch %.3f\n",
+			100*prep.Success.P, prep.MeanHops, prep.MeanStretch)
+	}
+	fmt.Println("\nverdict: local greedy forwarding routes the internet-like topology" +
+		" near-optimally — the rigorous answer the paper gives to Krioukov's question.")
+}

@@ -1,0 +1,304 @@
+// Package core is the public face of the library: it wraps the network
+// models (GIRG, hyperbolic, Kleinberg) and routing protocols behind one
+// Network/Protocol API and provides the Milgram-style experiment runner
+// that all benchmarks and examples are built on — sample source/target
+// pairs, route a message with a chosen protocol, and report success rates,
+// hop counts and stretch.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/girg"
+	"repro/internal/graph"
+	"repro/internal/hrg"
+	"repro/internal/kleinberg"
+	"repro/internal/par"
+	"repro/internal/route"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// Network bundles a sampled graph with the objective its model routes by.
+type Network struct {
+	// Graph is the sampled network.
+	Graph *graph.Graph
+	// Label describes the instance for reports.
+	Label string
+	// NewObjective builds the routing objective toward target t. The
+	// default models use the paper's phi; hyperbolic networks may use
+	// phi_H, Kleinberg grids use lattice distance.
+	NewObjective func(t int) route.Objective
+
+	giant []int // lazily computed giant component
+}
+
+// NewGIRG samples a GIRG network routing by the standard objective phi.
+func NewGIRG(p girg.Params, seed uint64, opts girg.Options) (*Network, error) {
+	g, err := girg.Generate(p, seed, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{
+		Graph: g,
+		Label: fmt.Sprintf("girg(n=%g,d=%d,beta=%g,alpha=%g)", p.N, p.Dim, p.Beta, p.Alpha),
+		NewObjective: func(t int) route.Objective {
+			return route.NewStandard(g, t)
+		},
+	}, nil
+}
+
+// NewHRG samples a hyperbolic random graph. With hyperbolicObjective it
+// routes by the geometric objective phi_H (Corollary 3.6); otherwise by the
+// standard GIRG phi of the Section 11 embedding.
+func NewHRG(p hrg.Params, seed uint64, hyperbolicObjective bool) (*Network, error) {
+	// Beyond ~30k vertices the quadratic sampler dominates runtime; the
+	// layered Fermi-Dirac sampler draws from the identical distribution.
+	gen := hrg.Generate
+	if p.N > 30000 {
+		gen = hrg.GenerateFast
+	}
+	g, err := gen(p, seed)
+	if err != nil {
+		return nil, err
+	}
+	obj := func(t int) route.Objective { return route.NewStandard(g, t) }
+	label := fmt.Sprintf("hrg(n=%d,alphaH=%g,T=%g,phi)", p.N, p.AlphaH, p.TH)
+	if hyperbolicObjective {
+		obj = func(t int) route.Objective { return hrg.NewObjective(p, g, t) }
+		label = fmt.Sprintf("hrg(n=%d,alphaH=%g,T=%g,phiH)", p.N, p.AlphaH, p.TH)
+	}
+	return &Network{Graph: g, Label: label, NewObjective: obj}, nil
+}
+
+// NewKleinbergGrid samples Kleinberg's lattice model routing by lattice
+// distance.
+func NewKleinbergGrid(p kleinberg.GridParams, seed uint64) (*Network, error) {
+	gr, err := kleinberg.GenerateGrid(p, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{
+		Graph:        gr.Graph(),
+		Label:        fmt.Sprintf("kleinberg(L=%d,q=%d,r=%g)", p.L, p.Q, p.R),
+		NewObjective: gr.Objective,
+	}, nil
+}
+
+// NewKleinbergContinuum samples the lattice-free continuum variant routing
+// by geometric distance.
+func NewKleinbergContinuum(p kleinberg.ContinuumParams, seed uint64) (*Network, error) {
+	g, err := kleinberg.GenerateContinuum(p, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{
+		Graph: g,
+		Label: fmt.Sprintf("kleinberg-continuum(n=%d,q=%d,alpha=%g)", p.N, p.Q, p.AlphaDecay),
+		NewObjective: func(t int) route.Objective {
+			return route.NewGeometric(g, t)
+		},
+	}, nil
+}
+
+// Giant returns the vertex ids of the largest component (cached).
+func (nw *Network) Giant() []int {
+	if nw.giant == nil {
+		nw.giant = graph.GiantComponent(nw.Graph)
+	}
+	return nw.giant
+}
+
+// Protocol selects the routing protocol.
+type Protocol int
+
+const (
+	// ProtoGreedy is the pure greedy protocol of Algorithm 1.
+	ProtoGreedy Protocol = iota + 1
+	// ProtoPhiDFS is the paper's Algorithm 2 patching protocol.
+	ProtoPhiDFS
+	// ProtoHistory is the message-history patching protocol (Section 5,
+	// first example).
+	ProtoHistory
+	// ProtoGravityPressure is the gravity-pressure heuristic (violates P3).
+	ProtoGravityPressure
+	// ProtoLookahead is greedy routing on the one-hop lookahead objective
+	// ("know thy neighbor's neighbor", related work of Section 1.1).
+	ProtoLookahead
+)
+
+// String names the protocol for reports.
+func (p Protocol) String() string {
+	switch p {
+	case ProtoGreedy:
+		return "greedy"
+	case ProtoPhiDFS:
+		return "phi-dfs"
+	case ProtoHistory:
+		return "history"
+	case ProtoGravityPressure:
+		return "gravity-pressure"
+	case ProtoLookahead:
+		return "greedy+lookahead"
+	default:
+		return fmt.Sprintf("protocol(%d)", int(p))
+	}
+}
+
+// Protocols lists all implemented protocols in report order.
+func Protocols() []Protocol {
+	return []Protocol{ProtoGreedy, ProtoLookahead, ProtoPhiDFS, ProtoHistory, ProtoGravityPressure}
+}
+
+// Route runs one routing episode from s to t under the given protocol.
+func (nw *Network) Route(proto Protocol, s, t int) (route.Result, error) {
+	return nw.routeWith(proto, nw.NewObjective(t), s)
+}
+
+// routeWith dispatches a routing episode under an explicit objective.
+func (nw *Network) routeWith(proto Protocol, obj route.Objective, s int) (route.Result, error) {
+	switch proto {
+	case ProtoGreedy:
+		return route.Greedy(nw.Graph, obj, s), nil
+	case ProtoPhiDFS:
+		return route.PhiDFS{}.Route(nw.Graph, obj, s), nil
+	case ProtoHistory:
+		return route.HistoryPatch{}.Route(nw.Graph, obj, s), nil
+	case ProtoGravityPressure:
+		return route.GravityPressure{}.Route(nw.Graph, obj, s), nil
+	case ProtoLookahead:
+		return route.Greedy(nw.Graph, route.NewLookahead(nw.Graph, obj), s), nil
+	default:
+		return route.Result{}, fmt.Errorf("core: unknown protocol %d", int(proto))
+	}
+}
+
+// MilgramConfig configures a batch routing experiment.
+type MilgramConfig struct {
+	// Pairs is the number of (s, t) routings to attempt.
+	Pairs int
+	// Protocol selects the routing protocol (default ProtoGreedy).
+	Protocol Protocol
+	// Seed drives pair selection.
+	Seed uint64
+	// WholeGraph samples pairs from all vertices instead of the giant
+	// component (greedy then also fails on isolated/small components, as
+	// in Milgram's real experiment).
+	WholeGraph bool
+	// ComputeStretch additionally runs a BFS per pair to report stretch
+	// (hop count divided by shortest-path distance).
+	ComputeStretch bool
+	// Objective optionally overrides the network's objective factory
+	// (e.g. relaxed objectives for E7).
+	Objective func(t int) route.Objective
+}
+
+// MilgramReport aggregates a batch routing experiment.
+type MilgramReport struct {
+	// Attempts is the number of routed pairs.
+	Attempts int
+	// Success is the success proportion with its Wilson interval.
+	Success stats.Proportion
+	// Hops are the move counts of successful routings.
+	Hops []float64
+	// Stretches are per-pair hop/BFS-distance ratios of successful
+	// routings (empty unless ComputeStretch).
+	Stretches []float64
+	// MeanHops and MeanStretch summarize the two slices (NaN when empty).
+	MeanHops    float64
+	MeanStretch float64
+	// Truncated counts episodes that hit a protocol's move cap.
+	Truncated int
+}
+
+// RunMilgram samples random source/target pairs and routes between them.
+// Pair selection is sequential (one seeded stream); the routing episodes
+// themselves are pure functions of the pairs and run on all cores, so the
+// report is bit-identical to a sequential run. Custom Objective factories
+// must therefore be safe to call concurrently (the built-in ones are).
+func RunMilgram(nw *Network, cfg MilgramConfig) (MilgramReport, error) {
+	if cfg.Pairs <= 0 {
+		return MilgramReport{}, fmt.Errorf("core: non-positive pair count %d", cfg.Pairs)
+	}
+	proto := cfg.Protocol
+	if proto == 0 {
+		proto = ProtoGreedy
+	}
+	pool := nw.Giant()
+	if cfg.WholeGraph {
+		pool = nil
+	}
+	if !cfg.WholeGraph && len(pool) < 2 {
+		return MilgramReport{}, fmt.Errorf("core: giant component too small (%d)", len(pool))
+	}
+	if cfg.WholeGraph && nw.Graph.N() < 2 {
+		return MilgramReport{}, fmt.Errorf("core: graph too small")
+	}
+	// Validate the protocol up front so workers cannot fail.
+	switch proto {
+	case ProtoGreedy, ProtoPhiDFS, ProtoHistory, ProtoGravityPressure, ProtoLookahead:
+	default:
+		return MilgramReport{}, fmt.Errorf("core: unknown protocol %d", int(proto))
+	}
+
+	// Draw all pairs from one sequential stream.
+	rng := xrand.New(cfg.Seed)
+	pick := func() int {
+		if pool != nil {
+			return pool[rng.IntN(len(pool))]
+		}
+		return rng.IntN(nw.Graph.N())
+	}
+	type pair struct{ s, t int }
+	pairs := make([]pair, 0, cfg.Pairs)
+	for len(pairs) < cfg.Pairs {
+		s, t := pick(), pick()
+		if s != t {
+			pairs = append(pairs, pair{s, t})
+		}
+	}
+
+	// Route every pair; episodes are deterministic and independent.
+	type episode struct {
+		success   bool
+		truncated bool
+		moves     int
+		stretch   float64 // 0 when not computed or failed
+	}
+	episodes := make([]episode, len(pairs))
+	par.ForEach(len(pairs), 0, func(i int) {
+		p := pairs[i]
+		obj := nw.NewObjective(p.t)
+		if cfg.Objective != nil {
+			obj = cfg.Objective(p.t)
+		}
+		res, _ := nw.routeWith(proto, obj, p.s) // protocol validated above
+		ep := episode{success: res.Success, truncated: res.Truncated, moves: res.Moves}
+		if res.Success && cfg.ComputeStretch {
+			if d := graph.BFSDistance(nw.Graph, p.s, p.t); d > 0 {
+				ep.stretch = float64(res.Moves) / float64(d)
+			}
+		}
+		episodes[i] = ep
+	})
+
+	rep := MilgramReport{Attempts: len(pairs)}
+	successes := 0
+	for _, ep := range episodes {
+		if ep.truncated {
+			rep.Truncated++
+		}
+		if !ep.success {
+			continue
+		}
+		successes++
+		rep.Hops = append(rep.Hops, float64(ep.moves))
+		if ep.stretch > 0 {
+			rep.Stretches = append(rep.Stretches, ep.stretch)
+		}
+	}
+	rep.Success = stats.NewProportion(successes, rep.Attempts)
+	rep.MeanHops = stats.Mean(rep.Hops)
+	rep.MeanStretch = stats.Mean(rep.Stretches)
+	return rep, nil
+}

@@ -1,0 +1,218 @@
+// Package dist executes the routing protocols as genuinely distributed node
+// programs. The paper stresses that greedy routing and its patching variants
+// are local: "each node only needs to know the positions and weights of its
+// direct neighbors, and the geometric position of t (which we assume to be
+// part of the message)", and "at each time only one vertex is active".
+//
+// This package enforces that claim structurally. A node program receives a
+// View that exposes only the node's own address, its direct neighbors'
+// advertised addresses and the model constants — there is no way to touch
+// the rest of the topology — plus a constant-size per-node state cell and
+// the in-flight packet. The simulator delivers the packet to one node at a
+// time and counts transmissions. Conformance tests verify that the
+// distributed executions reproduce the centralized implementations of
+// package route hop for hop.
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/torus"
+)
+
+// Address is what a node advertises to its neighbors: its model weight and
+// geometric position (the (x_v, w_v) address of Section 2.2).
+type Address struct {
+	W   float64
+	Pos []float64
+}
+
+// View is the strictly local knowledge of the active node. It is rebuilt by
+// the simulator for each activation; programs must not retain it.
+type View struct {
+	// Self is the active node's id and Addr its own address.
+	Self int
+	Addr Address
+	// NeighborIDs and NeighborAddrs list the direct neighbors (parallel
+	// slices).
+	NeighborIDs   []int32
+	NeighborAddrs []Address
+	// Space, Intensity and WMin are the public model constants every
+	// participant of the protocol knows (they parameterize the objective,
+	// like knowing "the formula" in Milgram's experiment).
+	Space     torus.Space
+	Intensity float64
+	WMin      float64
+}
+
+// Phi evaluates the standard objective of an address toward the packet's
+// target address: w / (wmin * n * dist^d). The target itself scores +Inf.
+func (v *View) Phi(a Address, target Address, targetID, id int) float64 {
+	if id == targetID {
+		return math.Inf(1)
+	}
+	return a.W / (v.WMin * v.Intensity * v.Space.DistPow(a.Pos, target.Pos))
+}
+
+// Packet is the message being routed. Its size is constant: protocol
+// scalars plus the target's address.
+type Packet struct {
+	// Target is the destination node id, TargetAddr its address (written
+	// on the envelope, as in the paper).
+	Target     int
+	TargetAddr Address
+	// Mode distinguishes protocol phases (e.g. explore vs backtrack for
+	// Algorithm 2).
+	Mode uint8
+	// BestSeen, Phi and LastVisited are Algorithm 2's message fields.
+	BestSeen    float64
+	Phi         float64
+	LastVisited int
+	// Extra carries protocol-specific message memory for protocols that
+	// store their history in the message (SMTP-style, Section 5); nil for
+	// the constant-size protocols.
+	Extra interface{}
+}
+
+// State is the constant-size per-node memory cell of Algorithm 2.
+type State struct {
+	Initialized   bool
+	Phi           float64
+	Parent        int32
+	StartedNewDFS bool
+	PreviousPhi   float64
+}
+
+// Outcome is what a node program decides after processing the packet.
+type Outcome struct {
+	// Deliver reports the packet reached its target at this node.
+	Deliver bool
+	// Drop reports the protocol gives up at this node.
+	Drop bool
+	// Forward is the neighbor to transmit to next (must be a direct
+	// neighbor; the simulator enforces this).
+	Forward int
+}
+
+// Program is a distributed routing protocol: a pure function of the local
+// view, the local state cell and the packet.
+type Program interface {
+	// OnPacket processes one activation. It may mutate state and packet.
+	OnPacket(view *View, state *State, pkt *Packet) Outcome
+}
+
+// Result of a distributed routing run.
+type Result struct {
+	Delivered bool
+	// Hops is the number of packet transmissions.
+	Hops int
+	// Path is the sequence of activated nodes (starting at the source).
+	Path []int
+}
+
+// Simulator runs single-packet protocols over a generated graph.
+type Simulator struct {
+	g      *graph.Graph
+	states []State
+	view   View
+	addrs  []Address // scratch reused across activations
+}
+
+// NewSimulator prepares a simulator for the given graph (which must carry
+// geometry and weights, as all model graphs do).
+func NewSimulator(g *graph.Graph) (*Simulator, error) {
+	if g.Positions() == nil {
+		return nil, fmt.Errorf("dist: graph has no geometry")
+	}
+	return &Simulator{
+		g:      g,
+		states: make([]State, g.N()),
+		view: View{
+			Space:     g.Space(),
+			Intensity: g.Intensity(),
+			WMin:      g.WMin(),
+		},
+	}, nil
+}
+
+// Reset clears all per-node state (a new routing episode).
+func (s *Simulator) Reset() {
+	for i := range s.states {
+		s.states[i] = State{}
+	}
+}
+
+// address builds the advertised address of node v.
+func (s *Simulator) address(v int) Address {
+	return Address{W: s.g.Weight(v), Pos: s.g.Pos(v)}
+}
+
+// Run routes one packet from src to dst under the program, for at most
+// maxHops transmissions (0 means 64*n + 256).
+func (s *Simulator) Run(p Program, src, dst, maxHops int) (Result, error) {
+	if maxHops == 0 {
+		maxHops = 64*s.g.N() + 256
+	}
+	s.Reset()
+	pkt := Packet{
+		Target:      dst,
+		TargetAddr:  s.address(dst),
+		BestSeen:    math.Inf(-1),
+		Phi:         math.Inf(-1),
+		LastVisited: src,
+	}
+	res := Result{Path: []int{src}}
+	cur := src
+	for {
+		s.activate(cur)
+		out := p.OnPacket(&s.view, &s.states[cur], &pkt)
+		switch {
+		case out.Deliver:
+			if cur != dst {
+				return res, fmt.Errorf("dist: program delivered at %d, target %d", cur, dst)
+			}
+			res.Delivered = true
+			return res, nil
+		case out.Drop:
+			return res, nil
+		default:
+			if !s.isNeighbor(cur, out.Forward) {
+				return res, fmt.Errorf("dist: node %d forwarded to non-neighbor %d", cur, out.Forward)
+			}
+			pkt.LastVisited = cur
+			cur = out.Forward
+			res.Hops++
+			res.Path = append(res.Path, cur)
+			if res.Hops > maxHops {
+				return res, nil
+			}
+		}
+	}
+}
+
+// activate rebuilds the local view for node v.
+func (s *Simulator) activate(v int) {
+	nbrs := s.g.Neighbors(v)
+	if cap(s.addrs) < len(nbrs) {
+		s.addrs = make([]Address, len(nbrs))
+	}
+	s.addrs = s.addrs[:len(nbrs)]
+	for i, u := range nbrs {
+		s.addrs[i] = s.address(int(u))
+	}
+	s.view.Self = v
+	s.view.Addr = s.address(v)
+	s.view.NeighborIDs = nbrs
+	s.view.NeighborAddrs = s.addrs
+}
+
+func (s *Simulator) isNeighbor(v, u int) bool {
+	for _, w := range s.g.Neighbors(v) {
+		if int(w) == u {
+			return true
+		}
+	}
+	return false
+}

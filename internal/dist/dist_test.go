@@ -1,0 +1,341 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/girg"
+	"repro/internal/graph"
+	"repro/internal/route"
+	"repro/internal/xrand"
+)
+
+func girgGraph(t testing.TB, n float64, seed uint64) *graph.Graph {
+	t.Helper()
+	p := girg.DefaultParams(n)
+	p.Lambda = 0.05 // sparse enough that greedy fails sometimes
+	p.FixedN = true
+	g, err := girg.Generate(p, seed, girg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewSimulatorRequiresGeometry(t *testing.T) {
+	b, _ := graph.NewBuilder(2, nil, nil, 2, 1)
+	b.AddEdge(0, 1)
+	if _, err := NewSimulator(b.Finish()); err == nil {
+		t.Fatal("geometry-less graph accepted")
+	}
+}
+
+func TestViewPhiMatchesRouteObjective(t *testing.T) {
+	g := girgGraph(t, 500, 1)
+	sim, err := NewSimulator(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := 7
+	obj := route.NewStandard(g, tgt)
+	pkt := Packet{Target: tgt, TargetAddr: sim.address(tgt)}
+	for v := 0; v < 50; v++ {
+		sim.activate(v)
+		got := sim.view.Phi(sim.view.Addr, pkt.TargetAddr, pkt.Target, v)
+		want := obj.Score(v)
+		if v == tgt {
+			if !math.IsInf(got, 1) {
+				t.Fatalf("target phi not +Inf")
+			}
+			continue
+		}
+		if math.Abs(got-want)/want > 1e-12 {
+			t.Fatalf("phi(%d): distributed %v vs centralized %v", v, got, want)
+		}
+	}
+}
+
+// TestGreedyConformance: the distributed greedy execution must reproduce the
+// centralized one transmission for transmission, including the give-up
+// point.
+func TestGreedyConformance(t *testing.T) {
+	g := girgGraph(t, 2000, 2)
+	sim, err := NewSimulator(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(3)
+	agree, checked := 0, 0
+	for i := 0; i < 300; i++ {
+		s, tgt := rng.IntN(g.N()), rng.IntN(g.N())
+		if s == tgt {
+			continue
+		}
+		want := route.Greedy(g, route.NewStandard(g, tgt), s)
+		got, err := sim.Run(GreedyProgram{}, s, tgt, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checked++
+		if got.Delivered != want.Success {
+			t.Fatalf("pair %d->%d: delivered %v vs centralized %v", s, tgt, got.Delivered, want.Success)
+		}
+		if len(got.Path) != len(want.Path) {
+			t.Fatalf("pair %d->%d: path lengths %d vs %d", s, tgt, len(got.Path), len(want.Path))
+		}
+		for j := range got.Path {
+			if got.Path[j] != want.Path[j] {
+				t.Fatalf("pair %d->%d: paths diverge at step %d: %v vs %v",
+					s, tgt, j, got.Path, want.Path)
+			}
+		}
+		agree++
+	}
+	if checked == 0 || agree != checked {
+		t.Fatalf("agree %d of %d", agree, checked)
+	}
+}
+
+// TestPhiDFSConformance: the distributed Algorithm 2 must reproduce the
+// centralized implementation's transmissions exactly.
+func TestPhiDFSConformance(t *testing.T) {
+	g := girgGraph(t, 1500, 4)
+	sim, err := NewSimulator(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(5)
+	for i := 0; i < 150; i++ {
+		s, tgt := rng.IntN(g.N()), rng.IntN(g.N())
+		if s == tgt {
+			continue
+		}
+		want := route.PhiDFS{}.Route(g, route.NewStandard(g, tgt), s)
+		got, err := sim.Run(PhiDFSProgram{}, s, tgt, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Delivered != want.Success {
+			t.Fatalf("pair %d->%d: delivered %v vs %v (hops %d vs %d)",
+				s, tgt, got.Delivered, want.Success, got.Hops, want.Moves)
+		}
+		if len(got.Path) != len(want.Path) {
+			t.Fatalf("pair %d->%d: path lengths %d vs %d", s, tgt, len(got.Path), len(want.Path))
+		}
+		for j := range got.Path {
+			if got.Path[j] != want.Path[j] {
+				t.Fatalf("pair %d->%d: transmissions diverge at %d", s, tgt, j)
+			}
+		}
+	}
+}
+
+// TestPhiDFSDistributedAlwaysDeliversInComponent: the locality-enforced
+// Algorithm 2 still has the Theorem 3.4 guarantee.
+func TestPhiDFSDistributedAlwaysDeliversInComponent(t *testing.T) {
+	g := girgGraph(t, 1200, 6)
+	giant := graph.GiantComponent(g)
+	sim, err := NewSimulator(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(7)
+	for i := 0; i < 60; i++ {
+		s := giant[rng.IntN(len(giant))]
+		tgt := giant[rng.IntN(len(giant))]
+		if s == tgt {
+			continue
+		}
+		res, err := sim.Run(PhiDFSProgram{}, s, tgt, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Delivered {
+			t.Fatalf("distributed phi-dfs failed within the giant (%d -> %d)", s, tgt)
+		}
+	}
+}
+
+// badProgram tries to forward to a non-neighbor; the simulator must refuse.
+type badProgram struct{}
+
+func (badProgram) OnPacket(view *View, _ *State, pkt *Packet) Outcome {
+	// Forward to some node that is not adjacent (the target works whenever
+	// it is not a neighbor).
+	return Outcome{Forward: pkt.Target}
+}
+
+func TestSimulatorEnforcesLocality(t *testing.T) {
+	g := girgGraph(t, 500, 8)
+	sim, err := NewSimulator(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a non-adjacent pair.
+	var s, tgt int = -1, -1
+	for u := 0; u < g.N() && s < 0; u++ {
+		for v := 0; v < g.N(); v++ {
+			if u != v && !g.HasEdge(u, v) {
+				s, tgt = u, v
+				break
+			}
+		}
+	}
+	if s < 0 {
+		t.Skip("graph is complete")
+	}
+	if _, err := sim.Run(badProgram{}, s, tgt, 0); err == nil {
+		t.Fatal("non-neighbor forward accepted")
+	}
+}
+
+// lyingProgram claims delivery at the wrong node.
+type lyingProgram struct{}
+
+func (lyingProgram) OnPacket(view *View, _ *State, pkt *Packet) Outcome {
+	return Outcome{Deliver: true}
+}
+
+func TestSimulatorChecksDelivery(t *testing.T) {
+	g := girgGraph(t, 300, 9)
+	sim, err := NewSimulator(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(lyingProgram{}, 0, 1, 0); err == nil {
+		t.Fatal("false delivery accepted")
+	}
+}
+
+// loopProgram bounces between two neighbors forever.
+type loopProgram struct{}
+
+func (loopProgram) OnPacket(view *View, _ *State, pkt *Packet) Outcome {
+	return Outcome{Forward: int(view.NeighborIDs[0])}
+}
+
+func TestSimulatorHopCap(t *testing.T) {
+	g := girgGraph(t, 300, 10)
+	// Find a vertex with a neighbor.
+	s := -1
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) > 0 {
+			s = v
+			break
+		}
+	}
+	if s < 0 {
+		t.Skip("empty graph")
+	}
+	sim, err := NewSimulator(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := (s + 1) % g.N()
+	res, err := sim.Run(loopProgram{}, s, tgt, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered {
+		t.Fatal("loop program delivered")
+	}
+	if res.Hops < 50 || res.Hops > 51 {
+		t.Fatalf("hop cap not applied: %d", res.Hops)
+	}
+}
+
+func TestRunResetsState(t *testing.T) {
+	// Two consecutive runs must not leak per-node DFS state.
+	g := girgGraph(t, 800, 11)
+	giant := graph.GiantComponent(g)
+	sim, err := NewSimulator(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, tgt := giant[0], giant[len(giant)-1]
+	r1, err := sim.Run(PhiDFSProgram{}, s, tgt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sim.Run(PhiDFSProgram{}, s, tgt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Hops != r2.Hops || r1.Delivered != r2.Delivered {
+		t.Fatalf("state leaked across runs: %+v vs %+v", r1, r2)
+	}
+}
+
+func BenchmarkDistributedGreedy(b *testing.B) {
+	g := girgGraph(b, 5000, 12)
+	giant := graph.GiantComponent(g)
+	sim, err := NewSimulator(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := giant[rng.IntN(len(giant))]
+		tgt := giant[rng.IntN(len(giant))]
+		if s == tgt {
+			continue
+		}
+		if _, err := sim.Run(GreedyProgram{}, s, tgt, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestHistoryConformance: the SMTP-style message-memory program must
+// reproduce the centralized HistoryPatch transmission for transmission.
+func TestHistoryConformance(t *testing.T) {
+	g := girgGraph(t, 1500, 21)
+	sim, err := NewSimulator(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(22)
+	for i := 0; i < 150; i++ {
+		s, tgt := rng.IntN(g.N()), rng.IntN(g.N())
+		if s == tgt {
+			continue
+		}
+		want := route.HistoryPatch{}.Route(g, route.NewStandard(g, tgt), s)
+		got, err := sim.Run(HistoryProgram{}, s, tgt, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Delivered != want.Success {
+			t.Fatalf("pair %d->%d: delivered %v vs %v", s, tgt, got.Delivered, want.Success)
+		}
+		if len(got.Path) != len(want.Path) {
+			t.Fatalf("pair %d->%d: path lengths %d vs %d (%v vs %v)",
+				s, tgt, len(got.Path), len(want.Path), got.Path, want.Path)
+		}
+		for j := range got.Path {
+			if got.Path[j] != want.Path[j] {
+				t.Fatalf("pair %d->%d: transmissions diverge at %d", s, tgt, j)
+			}
+		}
+	}
+}
+
+// TestHistoryProgramStateless: the per-node state cells must remain zero —
+// all memory lives in the message.
+func TestHistoryProgramStateless(t *testing.T) {
+	g := girgGraph(t, 800, 23)
+	sim, err := NewSimulator(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	giant := graph.GiantComponent(g)
+	if _, err := sim.Run(HistoryProgram{}, giant[0], giant[len(giant)-1], 0); err != nil {
+		t.Fatal(err)
+	}
+	for v, st := range sim.states {
+		if st != (State{}) {
+			t.Fatalf("node %d acquired state %+v under the stateless protocol", v, st)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package dist
+
+import (
+	"container/heap"
+)
+
+// HistoryProgram is the message-history patching protocol of Section 5 as a
+// node program: all protocol memory travels with the packet ("we may simply
+// store the list of visited vertices in the message, and for each vertex we
+// additionally store the objective of the best unexplored incident edge" —
+// the SMTP analogy), and the nodes keep no state at all. The message
+// records, per visited vertex, the neighbor ids it saw there; backtracking
+// walks are then planned over that recorded map, so every transmission
+// still goes to a direct neighbor of the current node.
+//
+// The execution is conformant with the centralized route.HistoryPatch
+// transmission for transmission (same frontier ordering, same walk BFS).
+type HistoryProgram struct{}
+
+// historyMemory is the state carried in Packet.Extra.
+type historyMemory struct {
+	visited  map[int]bool
+	adj      map[int][]int32 // neighbor ids recorded at each visited vertex
+	frontier histFrontier
+	plan     []int // remaining hops of a planned walk to a frontier edge
+}
+
+type histEdge struct {
+	score float64
+	to    int
+	from  int
+}
+
+type histFrontier []histEdge
+
+func (h histFrontier) Len() int { return len(h) }
+func (h histFrontier) Less(i, j int) bool {
+	if h[i].score != h[j].score {
+		return h[i].score > h[j].score
+	}
+	return h[i].to < h[j].to
+}
+func (h histFrontier) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *histFrontier) Push(x interface{}) { *h = append(*h, x.(histEdge)) }
+func (h *histFrontier) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// OnPacket implements Program.
+func (HistoryProgram) OnPacket(view *View, _ *State, pkt *Packet) Outcome {
+	if view.Self == pkt.Target {
+		return Outcome{Deliver: true}
+	}
+	mem, _ := pkt.Extra.(*historyMemory)
+	if mem == nil {
+		mem = &historyMemory{
+			visited: map[int]bool{},
+			adj:     map[int][]int32{},
+		}
+		pkt.Extra = mem
+	}
+	v := view.Self
+	if !mem.visited[v] {
+		mem.visited[v] = true
+		nbrs := make([]int32, len(view.NeighborIDs))
+		copy(nbrs, view.NeighborIDs)
+		mem.adj[v] = nbrs
+		for i, id32 := range view.NeighborIDs {
+			u := int(id32)
+			if !mem.visited[u] {
+				score := view.Phi(view.NeighborAddrs[i], pkt.TargetAddr, pkt.Target, u)
+				heap.Push(&mem.frontier, histEdge{score: score, to: u, from: v})
+			}
+		}
+	}
+	// Mid-walk: keep following the plan.
+	if len(mem.plan) > 0 {
+		next := mem.plan[0]
+		mem.plan = mem.plan[1:]
+		return Outcome{Forward: next}
+	}
+	// Greedy step if a neighbor improves on the current vertex.
+	best, bestScore := bestNeighbor(view, pkt)
+	selfScore := view.Phi(view.Addr, pkt.TargetAddr, pkt.Target, v)
+	if best >= 0 && betterScore(bestScore, selfScore, best, v) {
+		return Outcome{Forward: best}
+	}
+	// Local optimum: pop the globally best unexplored edge (lazy deletion).
+	for mem.frontier.Len() > 0 {
+		e := heap.Pop(&mem.frontier).(histEdge)
+		if mem.visited[e.to] {
+			continue
+		}
+		// Plan a shortest walk within the visited set from here to e.from,
+		// then across the unexplored edge.
+		walk := mem.walkVisited(v, e.from)
+		mem.plan = append(walk, e.to)
+		next := mem.plan[0]
+		mem.plan = mem.plan[1:]
+		return Outcome{Forward: next}
+	}
+	return Outcome{Drop: true} // component exhausted
+}
+
+// walkVisited returns the vertices after `from` on a shortest path from
+// `from` to `to` within the message's visited set, using the recorded
+// adjacency (identical BFS order to the centralized implementation).
+func (m *historyMemory) walkVisited(from, to int) []int {
+	if from == to {
+		return nil
+	}
+	prev := map[int]int{from: from}
+	queue := []int{from}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if v == to {
+			break
+		}
+		for _, u32 := range m.adj[v] {
+			u := int(u32)
+			if !m.visited[u] {
+				continue
+			}
+			if _, seen := prev[u]; !seen {
+				prev[u] = v
+				queue = append(queue, u)
+			}
+		}
+	}
+	if _, ok := prev[to]; !ok {
+		return []int{to} // defensive; the visited set is connected
+	}
+	var rev []int
+	for v := to; v != from; v = prev[v] {
+		rev = append(rev, v)
+	}
+	out := make([]int, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package dist
+
+import "math"
+
+// Packet modes of the Algorithm 2 program.
+const (
+	modeExplore uint8 = iota
+	modeBacktrack
+)
+
+// GreedyProgram is Algorithm 1 as a node program: deliver if this node is
+// the target, otherwise forward to the neighbor with the best objective if
+// it beats the current node, else drop. All objective evaluations use only
+// the neighbors' advertised addresses and the target address on the packet.
+type GreedyProgram struct{}
+
+// OnPacket implements Program.
+func (GreedyProgram) OnPacket(view *View, _ *State, pkt *Packet) Outcome {
+	if view.Self == pkt.Target {
+		return Outcome{Deliver: true}
+	}
+	best, bestScore := bestNeighbor(view, pkt)
+	selfScore := view.Phi(view.Addr, pkt.TargetAddr, pkt.Target, view.Self)
+	if best >= 0 && betterScore(bestScore, selfScore, best, view.Self) {
+		return Outcome{Forward: best}
+	}
+	return Outcome{Drop: true}
+}
+
+// PhiDFSProgram is the paper's Algorithm 2 as a node program with the
+// constant-size per-node State cell and the three packet fields
+// (best_seen_objective, Phi, last_visited_vertex). Local transitions that
+// the pseudocode performs without moving the message (the reset re-entry)
+// loop inside OnPacket; every Forward is one message transmission to a
+// direct neighbor — the simulator proves by construction that no step needs
+// non-local knowledge.
+type PhiDFSProgram struct{}
+
+// OnPacket implements Program.
+func (PhiDFSProgram) OnPacket(view *View, state *State, pkt *Packet) Outcome {
+	for {
+		switch pkt.Mode {
+		case modeExplore:
+			if view.Self == pkt.Target {
+				return Outcome{Deliver: true}
+			}
+			// Already visited in the current Phi-DFS: step back
+			// immediately (pseudocode lines 8-9).
+			if state.Initialized && state.Phi == pkt.Phi {
+				pkt.Mode = modeBacktrack
+				if pkt.LastVisited == view.Self {
+					continue
+				}
+				return Outcome{Forward: pkt.LastVisited}
+			}
+			best, bestScore := bestNeighbor(view, pkt)
+			selfScore := view.Phi(view.Addr, pkt.TargetAddr, pkt.Target, view.Self)
+			// Lines 11-12: potentially start a new DFS at this node.
+			if selfScore > pkt.BestSeen {
+				pkt.BestSeen = selfScore
+				if best >= 0 && bestScore >= selfScore {
+					state.StartedNewDFS = true
+					state.PreviousPhi = pkt.Phi
+					pkt.Phi = selfScore
+				}
+			}
+			// Line 13: INIT_VERTEX.
+			state.Initialized = true
+			state.Phi = pkt.Phi
+			state.Parent = int32(pkt.LastVisited)
+			// Lines 14-17.
+			if best >= 0 && bestScore >= pkt.Phi {
+				return Outcome{Forward: best}
+			}
+			pkt.Mode = modeBacktrack
+			if pkt.LastVisited == view.Self {
+				continue
+			}
+			return Outcome{Forward: pkt.LastVisited}
+
+		case modeBacktrack:
+			// Line 19: scan for the next unexplored child below the
+			// cursor phi(last visited).
+			cursor := phiOfID(view, pkt, pkt.LastVisited)
+			if u := nextChild(view, pkt, int(state.Parent), cursor); u >= 0 {
+				pkt.Mode = modeExplore
+				return Outcome{Forward: u}
+			}
+			if state.StartedNewDFS {
+				// Lines 24-27: the DFS rooted here failed; resume the
+				// previous one by rescanning the children (see the
+				// documented deviation in internal/route/phidfs.go).
+				state.StartedNewDFS = false
+				pkt.Phi = state.PreviousPhi
+				state.Phi = state.PreviousPhi
+				pkt.LastVisited = int(state.Parent)
+				if best, bestScore := bestNeighbor(view, pkt); best >= 0 && bestScore >= pkt.Phi {
+					pkt.Mode = modeExplore
+					return Outcome{Forward: best}
+				}
+				if int(state.Parent) == view.Self {
+					return Outcome{Drop: true}
+				}
+				return Outcome{Forward: int(state.Parent)}
+			}
+			if int(state.Parent) == view.Self {
+				// Bottom-level DFS exhausted the component.
+				return Outcome{Drop: true}
+			}
+			return Outcome{Forward: int(state.Parent)}
+		default:
+			return Outcome{Drop: true}
+		}
+	}
+}
+
+// bestNeighbor returns the neighbor id with the maximal objective and its
+// score, or (-1, -Inf) for an isolated node. Tie-breaking matches package
+// route: higher score first, then lower id.
+func bestNeighbor(view *View, pkt *Packet) (int, float64) {
+	best := -1
+	bestScore := math.Inf(-1)
+	for i, id32 := range view.NeighborIDs {
+		id := int(id32)
+		sc := view.Phi(view.NeighborAddrs[i], pkt.TargetAddr, pkt.Target, id)
+		if best == -1 || betterScore(sc, bestScore, id, best) {
+			best, bestScore = id, sc
+		}
+	}
+	return best, bestScore
+}
+
+// betterScore mirrors route's total order on (score, id).
+func betterScore(scoreA, scoreB float64, a, b int) bool {
+	if scoreA != scoreB {
+		return scoreA > scoreB
+	}
+	return a < b
+}
+
+// phiOfID evaluates the objective of a node the active node can see: itself
+// or one of its direct neighbors.
+func phiOfID(view *View, pkt *Packet, id int) float64 {
+	if id == view.Self {
+		return view.Phi(view.Addr, pkt.TargetAddr, pkt.Target, id)
+	}
+	for i, nid := range view.NeighborIDs {
+		if int(nid) == id {
+			return view.Phi(view.NeighborAddrs[i], pkt.TargetAddr, pkt.Target, id)
+		}
+	}
+	// Unreachable for well-formed executions: the last visited vertex is
+	// always the node itself or a direct neighbor.
+	return math.Inf(-1)
+}
+
+// nextChild returns the neighbor with the largest objective strictly below
+// cursor, at least pkt.Phi, excluding the parent; -1 if none.
+func nextChild(view *View, pkt *Packet, parent int, cursor float64) int {
+	best := -1
+	var bestScore float64
+	for i, id32 := range view.NeighborIDs {
+		id := int(id32)
+		if id == parent {
+			continue
+		}
+		sc := view.Phi(view.NeighborAddrs[i], pkt.TargetAddr, pkt.Target, id)
+		if sc < pkt.Phi || sc >= cursor {
+			continue
+		}
+		if best == -1 || betterScore(sc, bestScore, id, best) {
+			best, bestScore = id, sc
+		}
+	}
+	return best
+}

@@ -1,0 +1,57 @@
+package expt
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+)
+
+// FormatCSV renders the table as RFC-4180 CSV (header row + data rows).
+// Notes and metrics are appended as comment-style rows prefixed with "#".
+func (t Table) FormatCSV() (string, error) {
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	if err := w.Write(t.Columns); err != nil {
+		return "", fmt.Errorf("expt: csv header: %w", err)
+	}
+	for _, row := range t.Rows {
+		if err := w.Write(row); err != nil {
+			return "", fmt.Errorf("expt: csv row: %w", err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return "", fmt.Errorf("expt: csv flush: %w", err)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&buf, "# %s\n", n)
+	}
+	return buf.String(), nil
+}
+
+// tableJSON is the stable JSON shape of a table.
+type tableJSON struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Columns []string           `json:"columns"`
+	Rows    [][]string         `json:"rows"`
+	Notes   []string           `json:"notes,omitempty"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// FormatJSON renders the table as indented JSON.
+func (t Table) FormatJSON() (string, error) {
+	out, err := json.MarshalIndent(tableJSON{
+		ID:      t.ID,
+		Title:   t.Title,
+		Columns: t.Columns,
+		Rows:    t.Rows,
+		Notes:   t.Notes,
+		Metrics: t.Metrics,
+	}, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("expt: json: %w", err)
+	}
+	return string(out) + "\n", nil
+}

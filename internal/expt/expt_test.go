@@ -1,0 +1,151 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "F1"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for _, id := range want {
+		e, ok := ByID(id)
+		if !ok {
+			t.Errorf("experiment %s missing", id)
+			continue
+		}
+		if e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete: %+v", id, e)
+		}
+	}
+	// Lowercase lookup works too.
+	if _, ok := ByID("e4"); !ok {
+		t.Error("case-insensitive lookup failed")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("unknown id found")
+	}
+}
+
+func TestAllOrdering(t *testing.T) {
+	all := All()
+	if all[0].ID != "E1" || all[len(all)-1].ID != "F1" {
+		t.Fatalf("ordering: first %s last %s", all[0].ID, all[len(all)-1].ID)
+	}
+	// E2 must come before E10 (numeric, not lexicographic).
+	idx := map[string]int{}
+	for i, e := range all {
+		idx[e.ID] = i
+	}
+	if idx["E2"] > idx["E10"] {
+		t.Fatal("E2 ordered after E10")
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tb := Table{
+		ID:      "T",
+		Title:   "demo",
+		Columns: []string{"a", "bbbb"},
+	}
+	tb.AddRow("1", "2")
+	tb.AddRow("333", "4")
+	tb.AddNote("hello %d", 5)
+	out := tb.Format()
+	if !strings.Contains(out, "== T: demo ==") {
+		t.Fatalf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "note: hello 5") {
+		t.Fatalf("missing note: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// header + columns + rule + 2 rows + note
+	if len(lines) != 6 {
+		t.Fatalf("unexpected line count %d: %q", len(lines), out)
+	}
+	// Columns aligned: data lines have the same prefix width.
+	if !strings.HasPrefix(lines[3], "1  ") {
+		t.Fatalf("row not padded: %q", lines[3])
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	var tb Table
+	tb.SetMetric("x", 1.5)
+	tb.SetMetric("y", 2)
+	if tb.Metrics["x"] != 1.5 || tb.Metrics["y"] != 2 {
+		t.Fatalf("%v", tb.Metrics)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	cfg := Config{Scale: 0.1}
+	if got := cfg.scaled(1000, 50); got != 100 {
+		t.Fatalf("scaled = %d", got)
+	}
+	if got := cfg.scaled(100, 50); got != 50 {
+		t.Fatalf("floor not applied: %d", got)
+	}
+	if got := cfg.scaledN(1000); got != 300 {
+		t.Fatalf("scaledN floor: %d", got)
+	}
+}
+
+// TestAllExperimentsSmoke runs every experiment at a tiny scale: tables must
+// be produced without error, with at least one row and consistent widths.
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke runs take ~1 min")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tb, err := e.Run(Config{Seed: 1, Scale: 0.02})
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if len(tb.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			for _, row := range tb.Rows {
+				if len(row) != len(tb.Columns) {
+					t.Fatalf("%s row width %d != %d columns", e.ID, len(row), len(tb.Columns))
+				}
+			}
+			if out := tb.Format(); len(out) == 0 {
+				t.Fatalf("%s empty output", e.ID)
+			}
+		})
+	}
+}
+
+func TestFormatCSV(t *testing.T) {
+	tb := Table{ID: "T", Title: "demo", Columns: []string{"a", "b"}}
+	tb.AddRow("1", "x,y") // comma must be quoted
+	tb.AddNote("hello")
+	out, err := tb.FormatCSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"x,y\"\n# hello\n"
+	if out != want {
+		t.Fatalf("csv = %q, want %q", out, want)
+	}
+}
+
+func TestFormatJSON(t *testing.T) {
+	tb := Table{ID: "T", Title: "demo", Columns: []string{"a"}}
+	tb.AddRow("1")
+	tb.SetMetric("m", 2.5)
+	out, err := tb.FormatJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"id": "T"`) || !strings.Contains(out, `"m": 2.5`) {
+		t.Fatalf("json = %s", out)
+	}
+}

@@ -1,0 +1,227 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/girg"
+	"repro/internal/par"
+	"repro/internal/route"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E1",
+		Title: "Greedy routing success probability across n, beta, alpha",
+		Claim: "Theorem 3.1: greedy routing succeeds with probability Omega(1), robustly in all model parameters; Section 4: empirical success rates are high.",
+		Run:   runE1,
+	})
+	register(Experiment{
+		ID:    "E2",
+		Title: "Failure probability decays exponentially in wmin",
+		Claim: "Theorem 3.2(i): under (EP3) greedy routing fails with probability O(exp(-wmin^Omega(1))).",
+		Run:   runE2,
+	})
+	register(Experiment{
+		ID:    "E3",
+		Title: "Success probability grows with the endpoint weights",
+		Claim: "Theorem 3.2(ii): if min{ws,wt} = omega(1), greedy routing succeeds a.a.s.; failure decays polynomially in min{ws,wt}.",
+		Run:   runE3,
+	})
+}
+
+func runE1(cfg Config) (Table, error) {
+	t := Table{
+		ID:      "E1",
+		Title:   "greedy success probability (pairs sampled in the giant component)",
+		Columns: []string{"n", "beta", "alpha", "giant%", "success [95% CI]", "mean hops"},
+	}
+	baseNs := []int{1000, 3000, 10000, 30000}
+	betas := []float64{2.2, 2.5, 2.8}
+	alphas := []float64{1.5, math.Inf(1)}
+	pairs := cfg.scaled(400, 40)
+	var minSuccess float64 = 1
+	seed := cfg.Seed
+	for _, alpha := range alphas {
+		for _, beta := range betas {
+			for _, baseN := range baseNs {
+				n := cfg.scaledN(baseN)
+				p := girg.DefaultParams(float64(n))
+				p.Beta = beta
+				p.Alpha = alpha
+				// Calibrate the kernel to average degree ~10 so every
+				// (beta, alpha) cell is compared at the same realistic
+				// density (the dense lambda=1 kernel makes routing
+				// trivially easy; a fixed sparse lambda leaves the
+				// threshold kernel subcritical).
+				lam, err := girg.LambdaForDegree(p, 10)
+				if err != nil {
+					return t, err
+				}
+				p.Lambda = lam
+				p.FixedN = true
+				seed++
+				nw, err := core.NewGIRG(p, seed, girg.Options{})
+				if err != nil {
+					return t, err
+				}
+				rep, err := core.RunMilgram(nw, core.MilgramConfig{Pairs: pairs, Seed: seed * 31})
+				if err != nil {
+					return t, err
+				}
+				giantFrac := float64(len(nw.Giant())) / float64(nw.Graph.N())
+				t.AddRow(fmtInt(n), fmtF2(beta), alphaLabel(alpha), fmtPct(giantFrac),
+					fmtProp(rep.Success.P, rep.Success.Lo, rep.Success.Hi), fmtF2(rep.MeanHops))
+				if rep.Success.P < minSuccess {
+					minSuccess = rep.Success.P
+				}
+			}
+		}
+	}
+	t.SetMetric("min_success", minSuccess)
+	t.AddNote("Omega(1) success: minimum observed success rate across all parameter cells is %.3f", minSuccess)
+	return t, nil
+}
+
+func alphaLabel(a float64) string {
+	if math.IsInf(a, 1) {
+		return "inf"
+	}
+	return fmtF2(a)
+}
+
+func runE2(cfg Config) (Table, error) {
+	t := Table{
+		ID:      "E2",
+		Title:   "greedy failure rate vs wmin (EP3 kernel, whole-graph pairs)",
+		Columns: []string{"wmin", "avg deg", "failure [95% CI]", "-ln(failure)"},
+	}
+	n := cfg.scaledN(30000)
+	pairs := cfg.scaled(1500, 150)
+	wmins := []float64{0.5, 0.75, 1, 1.5, 2, 3, 4}
+	var xs, fails []float64
+	seed := cfg.Seed + 100
+	// Average each row over several independent graphs: degree and failure
+	// estimates on a single scale-free graph are dominated by hub luck
+	// (E[W^2] is infinite for beta < 3).
+	const graphsPerRow = 3
+	for _, wmin := range wmins {
+		p := girg.DefaultParams(float64(n))
+		p.WMin = wmin
+		// Sparse kernel so the minimum expected degree is Theta(wmin) on a
+		// human scale; failures then come from exactly the start/end
+		// effects Theorem 3.2 bounds.
+		p.Lambda = 0.005
+		p.FixedN = true
+		failures, attempts := 0, 0
+		avgDeg := 0.0
+		for rep := 0; rep < graphsPerRow; rep++ {
+			seed++
+			nw, err := core.NewGIRG(p, seed, girg.Options{})
+			if err != nil {
+				return t, err
+			}
+			// Pairs from the whole graph: the theorem makes no
+			// same-component assumption, and isolated targets are a
+			// legitimate failure mode that vanishes as wmin grows.
+			r, err := core.RunMilgram(nw, core.MilgramConfig{Pairs: pairs, Seed: seed * 17, WholeGraph: true})
+			if err != nil {
+				return t, err
+			}
+			failures += r.Attempts - len(r.Hops)
+			attempts += r.Attempts
+			avgDeg += 2 * float64(nw.Graph.M()) / float64(nw.Graph.N())
+		}
+		avgDeg /= graphsPerRow
+		prop := stats.NewProportion(failures, attempts)
+		fail := prop.P
+		lnf := "inf"
+		if fail > 0 {
+			lnf = fmtF2(-math.Log(fail))
+			xs = append(xs, wmin)
+			fails = append(fails, fail)
+		}
+		t.AddRow(fmtF2(wmin), fmtF2(avgDeg), fmtProp(prop.P, prop.Lo, prop.Hi), lnf)
+	}
+	if len(xs) >= 3 {
+		rate, pre, r2 := stats.FitExpDecay(xs, fails)
+		t.SetMetric("decay_rate", rate)
+		t.AddNote("exponential fit: failure ~ %.2f * exp(-%.2f * wmin), R^2(log) = %.3f", pre, rate, r2)
+		if rate > 0 {
+			t.AddNote("verdict: failure decays exponentially in wmin as Theorem 3.2(i) predicts")
+		}
+	}
+	return t, nil
+}
+
+func runE3(cfg Config) (Table, error) {
+	t := Table{
+		ID:      "E3",
+		Title:   "greedy success vs planted endpoint weight w = ws = wt",
+		Columns: []string{"w", "success [95% CI]", "mean hops"},
+	}
+	n := cfg.scaledN(10000)
+	reps := cfg.scaled(150, 20)
+	weights := []float64{1, 2, 4, 8, 16, 32}
+	// One planted pair per weight class, all in one graph per repetition:
+	// s_k at (0.1, 0.1+k*0.02), t_k at (0.6, 0.6+k*0.02), far apart on the
+	// torus. Each rep resamples the whole graph (the randomness of
+	// Theorem 3.2 is over the graph around the fixed s and t).
+	var planted []girg.Plant
+	for k, w := range weights {
+		dy := float64(k) * 0.02
+		planted = append(planted,
+			girg.Plant{Pos: []float64{0.1, 0.1 + dy}, W: w},
+			girg.Plant{Pos: []float64{0.6, 0.6 + dy}, W: w},
+		)
+	}
+	// One graph per repetition; repetitions are independent and run in
+	// parallel (each seeded by its index).
+	type repResult struct {
+		success [6]bool
+		moves   [6]int
+		err     error
+	}
+	results := make([]repResult, reps)
+	par.ForEach(reps, 0, func(r int) {
+		p := girg.DefaultParams(float64(n))
+		p.Lambda = sparseLambda
+		p.FixedN = true
+		g, err := girg.Generate(p, cfg.Seed+200+uint64(r), girg.Options{Planted: planted})
+		if err != nil {
+			results[r].err = err
+			return
+		}
+		for k := range weights {
+			s, tgt := 2*k, 2*k+1
+			res := route.Greedy(g, route.NewStandard(g, tgt), s)
+			results[r].success[k] = res.Success
+			results[r].moves[k] = res.Moves
+		}
+	})
+	succ := make([]int, len(weights))
+	hops := make([][]float64, len(weights))
+	for _, rr := range results {
+		if rr.err != nil {
+			return t, rr.err
+		}
+		for k := range weights {
+			if rr.success[k] {
+				succ[k]++
+				hops[k] = append(hops[k], float64(rr.moves[k]))
+			}
+		}
+	}
+	for k, w := range weights {
+		pr := stats.NewProportion(succ[k], reps)
+		t.AddRow(fmt.Sprintf("%g", w), fmtProp(pr.P, pr.Lo, pr.Hi), fmtF2(stats.Mean(hops[k])))
+	}
+	lo := stats.NewProportion(succ[0], reps).P
+	hi := stats.NewProportion(succ[len(weights)-1], reps).P
+	t.SetMetric("success_w1", lo)
+	t.SetMetric("success_wmax", hi)
+	t.AddNote("success grows from %.3f at w=1 to %.3f at w=%g; Theorem 3.2(ii) predicts convergence to 1", lo, hi, weights[len(weights)-1])
+	return t, nil
+}

@@ -1,0 +1,60 @@
+package girg
+
+import (
+	"fmt"
+	"math"
+)
+
+// ExpectedDegree returns the (approximate) expected average degree of the
+// model: integrating the soft kernel over the max-norm torus gives the
+// marginal connection probability
+//
+//	P(u ~ v | w_u, w_v) = 2^d lambda^{1/alpha} * alpha/(alpha-1) * k - O(k^alpha),
+//	k = w_u w_v / (w_min n),
+//
+// so with E[W] = w_min (beta-1)/(beta-2),
+//
+//	E[deg] ~ 2^d lambda^{1/alpha} * alpha/(alpha-1) * ((beta-1)/(beta-2))^2 * w_min.
+//
+// For the threshold kernel the alpha/(alpha-1) factor is 1 (only the
+// saturated ball contributes). The formula ignores the min(.,1) cap for
+// heavy vertices and the L2Norm volume constant, so it overestimates
+// moderately for beta close to 2; it is intended for choosing lambda, not
+// for exact predictions.
+func ExpectedDegree(p Params) float64 {
+	if err := p.Validate(); err != nil {
+		return math.NaN()
+	}
+	meanW := (p.Beta - 1) / (p.Beta - 2) // in units of wmin
+	tail := 1.0
+	sat := 1.0
+	if !p.Threshold() {
+		tail = p.Alpha / (p.Alpha - 1)
+		sat = math.Pow(p.Lambda, 1/p.Alpha)
+	} else {
+		sat = p.Lambda
+	}
+	return math.Pow(2, float64(p.Dim)) * sat * tail * meanW * meanW * p.WMin
+}
+
+// LambdaForDegree returns the kernel prefactor lambda that makes
+// ExpectedDegree hit the target average degree, leaving all other
+// parameters of p fixed. It errors if the target is not achievable with a
+// positive lambda.
+func LambdaForDegree(p Params, target float64) (float64, error) {
+	if target <= 0 {
+		return 0, fmt.Errorf("girg: non-positive target degree %v", target)
+	}
+	probe := p
+	probe.Lambda = 1
+	base := ExpectedDegree(probe)
+	if math.IsNaN(base) || base <= 0 {
+		return 0, fmt.Errorf("girg: cannot calibrate invalid parameters")
+	}
+	ratio := target / base
+	if p.Threshold() {
+		return ratio, nil
+	}
+	// Degree scales as lambda^{1/alpha}.
+	return math.Pow(ratio, p.Alpha), nil
+}

@@ -1,0 +1,197 @@
+package girg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/torus"
+)
+
+func TestExpectedDegreeMatchesSampledDenseRegime(t *testing.T) {
+	// For beta comfortably above 2 (weak heavy tail) the small-k formula
+	// should land within ~25% of the sampled average degree.
+	p := DefaultParams(20000)
+	p.Beta = 2.8
+	p.Lambda = 0.02
+	p.FixedN = true
+	want := ExpectedDegree(p)
+	g, err := Generate(p, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 2 * float64(g.M()) / float64(g.N())
+	if math.Abs(got-want)/want > 0.25 {
+		t.Fatalf("expected degree %v, sampled %v", want, got)
+	}
+}
+
+func TestExpectedDegreeInvalidParams(t *testing.T) {
+	p := DefaultParams(100)
+	p.Beta = 1.5
+	if !math.IsNaN(ExpectedDegree(p)) {
+		t.Fatal("invalid params must give NaN")
+	}
+}
+
+func TestLambdaForDegreeRoundTrip(t *testing.T) {
+	p := DefaultParams(50000)
+	p.Beta = 2.7
+	for _, target := range []float64{2, 8, 20} {
+		lam, err := LambdaForDegree(p, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2 := p
+		p2.Lambda = lam
+		if got := ExpectedDegree(p2); math.Abs(got-target)/target > 1e-9 {
+			t.Fatalf("target %v: calibrated lambda %v gives %v", target, lam, got)
+		}
+	}
+}
+
+func TestLambdaForDegreeThreshold(t *testing.T) {
+	p := DefaultParams(50000)
+	p.Alpha = math.Inf(1)
+	lam, err := LambdaForDegree(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Lambda = lam
+	if got := ExpectedDegree(p); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("threshold calibration gives %v", got)
+	}
+}
+
+func TestLambdaForDegreeErrors(t *testing.T) {
+	p := DefaultParams(100)
+	if _, err := LambdaForDegree(p, 0); err == nil {
+		t.Fatal("zero target accepted")
+	}
+	p.Beta = 1.5
+	if _, err := LambdaForDegree(p, 5); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestCalibratedSampledDegree(t *testing.T) {
+	// End to end: calibrate for degree 10 and verify the sampled graph is
+	// in the right ballpark (the formula ignores the heavy-tail cap, so
+	// allow a generous band).
+	p := DefaultParams(30000)
+	p.Beta = 2.6
+	p.FixedN = true
+	lam, err := LambdaForDegree(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Lambda = lam
+	g, err := Generate(p, 9, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 2 * float64(g.M()) / float64(g.N())
+	if got < 5 || got > 15 {
+		t.Fatalf("calibrated degree %v, want ~10", got)
+	}
+}
+
+func TestL2NormModel(t *testing.T) {
+	// The model works under the Euclidean norm too: samplers agree exactly
+	// for threshold kernels and the graph is structurally similar.
+	p := DefaultParams(500)
+	p.Norm = torus.L2Norm
+	p.Alpha = math.Inf(1)
+	p.FixedN = true
+	vs, err := SampleVertices(p, rngFor(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gn, err := GenerateEdges(p, vs, rngFor(2), SamplerNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf, err := GenerateEdges(p, vs, rngFor(3), SamplerFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gn.M() != gf.M() {
+		t.Fatalf("L2 threshold samplers differ: %d vs %d edges", gn.M(), gf.M())
+	}
+	for v := 0; v < gn.N(); v++ {
+		a, b := gn.Neighbors(v), gf.Neighbors(v)
+		if len(a) != len(b) {
+			t.Fatalf("L2: degree of %d differs", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("L2: adjacency of %d differs", v)
+			}
+		}
+	}
+	if gn.M() == 0 {
+		t.Fatal("no edges under L2 norm")
+	}
+}
+
+func TestL2SoftKernelRouting(t *testing.T) {
+	// Soft kernel + L2 norm: generation succeeds and the graph has a giant
+	// component with sane density.
+	p := DefaultParams(3000)
+	p.Norm = torus.L2Norm
+	p.FixedN = true
+	g, err := Generate(p, 11, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := 2 * float64(g.M()) / float64(g.N())
+	if avg < 5 || avg > 120 {
+		t.Fatalf("L2 average degree %v", avg)
+	}
+}
+
+func TestInvalidNormRejected(t *testing.T) {
+	p := DefaultParams(100)
+	p.Norm = torus.Norm(99)
+	if _, err := Generate(p, 1, Options{}); err == nil {
+		t.Fatal("invalid norm accepted")
+	}
+}
+
+func TestCubeGeometryThresholdIdentity(t *testing.T) {
+	// The fast sampler must stay exact on the cube [0,1]^d: boundary cells
+	// lose wrap-around neighbors and the type-II candidate set shrinks,
+	// but coverage must remain exactly once per pair.
+	for _, dim := range []int{1, 2} {
+		p := DefaultParams(500)
+		p.Dim = dim
+		p.Geometry = torus.Cube
+		p.Alpha = math.Inf(1)
+		p.FixedN = true
+		vs, err := SampleVertices(p, rngFor(uint64(300+dim)), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gn, err := GenerateEdges(p, vs, rngFor(1), SamplerNaive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gf, err := GenerateEdges(p, vs, rngFor(2), SamplerFast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gn.M() != gf.M() {
+			t.Fatalf("dim=%d cube: %d vs %d edges", dim, gn.M(), gf.M())
+		}
+		for v := 0; v < gn.N(); v++ {
+			a, b := gn.Neighbors(v), gf.Neighbors(v)
+			if len(a) != len(b) {
+				t.Fatalf("dim=%d cube: degree of %d differs", dim, v)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("dim=%d cube: adjacency of %d differs", dim, v)
+				}
+			}
+		}
+	}
+}

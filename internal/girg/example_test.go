@@ -1,0 +1,60 @@
+package girg_test
+
+import (
+	"fmt"
+
+	"repro/internal/girg"
+)
+
+// ExampleGenerate samples a small GIRG and reports its size.
+func ExampleGenerate() {
+	p := girg.DefaultParams(1000)
+	p.FixedN = true
+	g, err := girg.Generate(p, 42, girg.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("vertices:", g.N())
+	fmt.Println("has edges:", g.M() > 0)
+	// Output:
+	// vertices: 1000
+	// has edges: true
+}
+
+// ExampleGenerate_planted fixes the source and target of the theorems: two
+// low-weight vertices far apart on the torus occupy ids 0 and 1.
+func ExampleGenerate_planted() {
+	p := girg.DefaultParams(500)
+	p.FixedN = true
+	g, err := girg.Generate(p, 7, girg.Options{
+		Planted: []girg.Plant{
+			{Pos: []float64{0.1, 0.1}, W: 1},
+			{Pos: []float64{0.6, 0.6}, W: 1},
+		},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("w_s:", g.Weight(0))
+	fmt.Println("x_t:", g.Pos(1)[0], g.Pos(1)[1])
+	// Output:
+	// w_s: 1
+	// x_t: 0.6 0.6
+}
+
+// ExampleLambdaForDegree calibrates the kernel prefactor to a target
+// average degree.
+func ExampleLambdaForDegree() {
+	p := girg.DefaultParams(100000)
+	lam, err := girg.LambdaForDegree(p, 10)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	p.Lambda = lam
+	fmt.Printf("expected degree: %.1f\n", girg.ExpectedDegree(p))
+	// Output:
+	// expected degree: 10.0
+}

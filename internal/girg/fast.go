@@ -1,0 +1,361 @@
+package girg
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/torus"
+	"repro/internal/xrand"
+)
+
+// FastSampler draws the GIRG edge set in expected near-linear time using the
+// layered cell technique of Bringmann, Keusch and Lengler ("Sampling
+// geometric inhomogeneous random graphs in linear time", ESA 2017):
+//
+//  1. Vertices are partitioned into weight layers L_i = [wmin 2^i, wmin 2^{i+1}).
+//  2. Within each layer, vertices are sorted by the Morton code of their
+//     position at a deep grid level, so the vertices of any cell at any
+//     level form one contiguous slice.
+//  3. For every pair of layers (i, j) a comparison level l(i,j) is chosen so
+//     that one grid cell just covers the kernel's saturation radius for the
+//     layers' maximum weights. Pairs in identical or adjacent cells at that
+//     level ("type I") get exact per-pair coins. Pairs in cells that first
+//     become non-adjacent at some level ("type II") are drawn by geometric
+//     skipping with the kernel evaluated at the cells' minimum distance as
+//     an upper bound, followed by exact rejection.
+//
+// Every unordered vertex pair is covered by exactly one (layer pair, cell
+// pair) combination, so the sampled distribution is exactly the model's.
+func FastSampler(p Params, vs *Vertices, rng *xrand.RNG, b *graph.Builder) {
+	FastSamplerKernel(p, NewKernel(p), vs, rng, b)
+}
+
+// FastSamplerKernel runs the fast sampler with a custom edge kernel (e.g.
+// the Fermi-Dirac kernel of embedded hyperbolic random graphs). The kernel
+// must satisfy the EdgeKernel monotonicity contract.
+func FastSamplerKernel(p Params, kernel EdgeKernel, vs *Vertices, rng *xrand.RNG, b *graph.Builder) {
+	n := vs.N()
+	if n < 2 {
+		return
+	}
+	space := vs.Pos.Space()
+	s := &fastState{
+		params: p,
+		kernel: kernel,
+		vs:     vs,
+		space:  space,
+		rng:    rng,
+		b:      b,
+		dim:    space.Dim(),
+	}
+	s.deepLevel = deepLevel(space, n)
+	s.buildLayers()
+	for i := range s.layers {
+		for j := i; j < len(s.layers); j++ {
+			s.sampleLayerPair(i, j)
+		}
+	}
+}
+
+// deepLevel picks the deepest grid level used for Morton sorting: fine
+// enough that comparison levels are never clamped in practice (about one
+// vertex per cell), capped by code capacity.
+func deepLevel(space torus.Space, n int) int {
+	l := int(math.Ceil(math.Log2(float64(n))/float64(space.Dim()))) + 1
+	if l < 1 {
+		l = 1
+	}
+	if maxL := space.MaxLevel(); l > maxL {
+		l = maxL
+	}
+	return l
+}
+
+// fastLayer holds one weight layer's vertices in Morton order.
+type fastLayer struct {
+	wUpper float64 // exclusive upper bound on weights in the layer
+	ids    []int32
+	codes  []uint64 // Morton codes at deepLevel, sorted; parallel to ids
+}
+
+type fastState struct {
+	params    Params
+	kernel    EdgeKernel
+	vs        *Vertices
+	space     torus.Space
+	rng       *xrand.RNG
+	b         *graph.Builder
+	dim       int
+	deepLevel int
+	layers    []fastLayer
+
+	nbrBuf  []uint64 // scratch for neighbor cell enumeration
+	typeIIB []uint64 // scratch for type-II partner enumeration
+}
+
+func (s *fastState) buildLayers() {
+	wmin := s.params.WMin
+	// Layer index of weight w: floor(log2(w/wmin)), clamped at 0 for
+	// w == wmin boundary noise.
+	layerOf := func(w float64) int {
+		l := int(math.Log2(w / wmin))
+		if l < 0 {
+			l = 0
+		}
+		return l
+	}
+	maxLayer := 0
+	for _, w := range s.vs.W {
+		if l := layerOf(w); l > maxLayer {
+			maxLayer = l
+		}
+	}
+	s.layers = make([]fastLayer, maxLayer+1)
+	for i := range s.layers {
+		s.layers[i].wUpper = wmin * math.Pow(2, float64(i+1))
+	}
+	for v, w := range s.vs.W {
+		l := layerOf(w)
+		s.layers[l].ids = append(s.layers[l].ids, int32(v))
+	}
+	for i := range s.layers {
+		lay := &s.layers[i]
+		lay.codes = make([]uint64, len(lay.ids))
+		for k, id := range lay.ids {
+			lay.codes[k] = s.space.Encode(s.vs.Pos.At(int(id)), s.deepLevel)
+		}
+		sort.Sort(byCode{lay})
+	}
+}
+
+// byCode sorts a layer's ids and codes together by code.
+type byCode struct{ l *fastLayer }
+
+func (b byCode) Len() int           { return len(b.l.ids) }
+func (b byCode) Less(i, j int) bool { return b.l.codes[i] < b.l.codes[j] }
+func (b byCode) Swap(i, j int) {
+	b.l.ids[i], b.l.ids[j] = b.l.ids[j], b.l.ids[i]
+	b.l.codes[i], b.l.codes[j] = b.l.codes[j], b.l.codes[i]
+}
+
+// cellRange returns the [lo, hi) index range of the layer's vertices lying
+// in cell `cell` at the given level.
+func (l *fastLayer) cellRange(cell uint64, level, deepLevel, dim int) (lo, hi int) {
+	shift := uint(dim * (deepLevel - level))
+	loCode := cell << shift
+	hiCode := (cell + 1) << shift
+	lo = sort.Search(len(l.codes), func(i int) bool { return l.codes[i] >= loCode })
+	hi = sort.Search(len(l.codes), func(i int) bool { return l.codes[i] >= hiCode })
+	return lo, hi
+}
+
+// compLevel returns the comparison level for a saturation volume satPow
+// (dist^d at which the kernel saturates): the deepest level whose cells
+// still have volume >= satPow, clamped to [0, deepLevel].
+func (s *fastState) compLevel(satPow float64) int {
+	if satPow <= 0 {
+		return s.deepLevel
+	}
+	if satPow >= 1 {
+		return 0
+	}
+	l := int(-math.Log2(satPow)) / s.dim
+	if l < 0 {
+		l = 0
+	}
+	if l > s.deepLevel {
+		l = s.deepLevel
+	}
+	return l
+}
+
+func (s *fastState) sampleLayerPair(i, j int) {
+	li, lj := &s.layers[i], &s.layers[j]
+	if len(li.ids) == 0 || len(lj.ids) == 0 {
+		return
+	}
+	satPow := s.kernel.SaturationDistPow(li.wUpper * lj.wUpper)
+	lvl := s.compLevel(satPow)
+
+	// Type I: identical or adjacent cells at the comparison level.
+	s.forEachNonemptyCell(li, lvl, func(cellA uint64, aLo, aHi int) {
+		s.nbrBuf = s.space.NeighborCells(cellA, lvl, s.nbrBuf[:0])
+		for _, cellB := range s.nbrBuf {
+			if i == j && cellB < cellA {
+				continue // unordered cell pair within one layer
+			}
+			bLo, bHi := lj.cellRange(cellB, lvl, s.deepLevel, s.dim)
+			if bLo == bHi {
+				continue
+			}
+			if i == j && cellA == cellB {
+				s.exactPairsSameSlice(li, aLo, aHi)
+			} else {
+				s.exactPairsCross(li, aLo, aHi, lj, bLo, bHi)
+			}
+		}
+	})
+
+	// Type II: cell pairs that first become non-adjacent at level l2 <= lvl
+	// (non-adjacent cells with adjacent parents).
+	wi, wj := li.wUpper, lj.wUpper
+	for l2 := 1; l2 <= lvl; l2++ {
+		s.forEachNonemptyCell(li, l2, func(cellA uint64, aLo, aHi int) {
+			s.typeIIB = s.typeIIPartners(cellA, l2, s.typeIIB[:0])
+			for _, cellB := range s.typeIIB {
+				if i == j && cellB < cellA {
+					continue
+				}
+				bLo, bHi := lj.cellRange(cellB, l2, s.deepLevel, s.dim)
+				if bLo == bHi {
+					continue
+				}
+				minDist := s.space.CellMinDist(cellA, cellB, l2)
+				pbar := s.kernel.Prob(wi, wj, ipow(minDist, s.dim))
+				if pbar <= 0 {
+					continue
+				}
+				s.skipSampling(li, aLo, aHi, lj, bLo, bHi, pbar)
+			}
+		})
+	}
+}
+
+// forEachNonemptyCell walks the distinct cells (at the given level) occupied
+// by the layer's vertices, in Morton order, invoking fn with the cell code
+// and the layer index range of its vertices.
+func (s *fastState) forEachNonemptyCell(l *fastLayer, level int, fn func(cell uint64, lo, hi int)) {
+	shift := uint(s.dim * (s.deepLevel - level))
+	pos := 0
+	for pos < len(l.codes) {
+		cell := l.codes[pos] >> shift
+		hiCode := (cell + 1) << shift
+		end := pos + sort.Search(len(l.codes)-pos, func(k int) bool { return l.codes[pos+k] >= hiCode })
+		fn(cell, pos, end)
+		pos = end
+	}
+}
+
+// typeIIPartners appends the cells B at the given level such that B is not
+// adjacent to cellA but parent(B) is adjacent to parent(A). These are
+// exactly the cell pairs "first separated" at this level; each unordered
+// pair of cells is generated from both endpoints (callers dedupe for the
+// same-layer case).
+func (s *fastState) typeIIPartners(cellA uint64, level int, dst []uint64) []uint64 {
+	side := uint32(1) << uint(level)
+	var coords [torus.MaxDim]uint32
+	s.space.DecodeCoords(cellA, level, coords[:s.dim])
+	parentA := s.space.ParentCell(cellA)
+	// Candidate offsets per axis: within +-3 (children of adjacent parents
+	// can differ by at most 3 per axis).
+	var cand [torus.MaxDim][]uint32
+	var seen [7]uint32
+	for ax := 0; ax < s.dim; ax++ {
+		vals := seen[:0]
+		for off := -3; off <= 3; off++ {
+			c, ok := s.space.OffsetCoord(coords[ax], off, side)
+			if !ok {
+				continue // cube boundary: no cell there
+			}
+			dup := false
+			for _, x := range vals {
+				if x == c {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				vals = append(vals, c)
+			}
+		}
+		cand[ax] = append([]uint32(nil), vals...)
+	}
+	var cur [torus.MaxDim]uint32
+	var rec func(ax int)
+	rec = func(ax int) {
+		if ax == s.dim {
+			cellB := s.space.EncodeCoords(cur[:s.dim], level)
+			if s.space.CellMinDist(cellA, cellB, level) == 0 {
+				return // adjacent or identical: type I territory
+			}
+			parentB := s.space.ParentCell(cellB)
+			if s.space.CellMinDist(parentA, parentB, level-1) != 0 {
+				return // parents not adjacent: handled at a shallower level
+			}
+			dst = append(dst, cellB)
+			return
+		}
+		for _, v := range cand[ax] {
+			cur[ax] = v
+			rec(ax + 1)
+		}
+	}
+	rec(0)
+	return dst
+}
+
+// exactPairsSameSlice flips exact per-pair coins for all index pairs a < b
+// within one layer slice.
+func (s *fastState) exactPairsSameSlice(l *fastLayer, lo, hi int) {
+	for a := lo; a < hi; a++ {
+		u := int(l.ids[a])
+		pu := s.vs.Pos.At(u)
+		wu := s.vs.W[u]
+		for b := a + 1; b < hi; b++ {
+			v := int(l.ids[b])
+			p := s.kernel.Prob(wu, s.vs.W[v], s.space.DistPow(pu, s.vs.Pos.At(v)))
+			if s.rng.Bernoulli(p) {
+				s.b.AddEdge(u, v)
+			}
+		}
+	}
+}
+
+// exactPairsCross flips exact per-pair coins for all cross pairs between two
+// slices (from different layers, or different cells of one layer).
+func (s *fastState) exactPairsCross(li *fastLayer, aLo, aHi int, lj *fastLayer, bLo, bHi int) {
+	for a := aLo; a < aHi; a++ {
+		u := int(li.ids[a])
+		pu := s.vs.Pos.At(u)
+		wu := s.vs.W[u]
+		for b := bLo; b < bHi; b++ {
+			v := int(lj.ids[b])
+			p := s.kernel.Prob(wu, s.vs.W[v], s.space.DistPow(pu, s.vs.Pos.At(v)))
+			if s.rng.Bernoulli(p) {
+				s.b.AddEdge(u, v)
+			}
+		}
+	}
+}
+
+// skipSampling visits each cross pair independently with probability pbar
+// via geometric skipping, then accepts with the exact kernel probability
+// divided by pbar.
+func (s *fastState) skipSampling(li *fastLayer, aLo, aHi int, lj *fastLayer, bLo, bHi int, pbar float64) {
+	na := aHi - aLo
+	nb := bHi - bLo
+	m := na * nb
+	idx := s.rng.GeometricSkip(pbar)
+	for idx < m {
+		u := int(li.ids[aLo+idx/nb])
+		v := int(lj.ids[bLo+idx%nb])
+		p := s.kernel.Prob(s.vs.W[u], s.vs.W[v], s.space.DistPow(s.vs.Pos.At(u), s.vs.Pos.At(v)))
+		if p > 0 && s.rng.Bernoulli(p/pbar) {
+			s.b.AddEdge(u, v)
+		}
+		idx += 1 + s.rng.GeometricSkip(pbar)
+	}
+}
+
+// ipow computes x^k for small non-negative integer k.
+func ipow(x float64, k int) float64 {
+	r := 1.0
+	for ; k > 0; k >>= 1 {
+		if k&1 == 1 {
+			r *= x
+		}
+		x *= x
+	}
+	return r
+}

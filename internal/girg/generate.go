@@ -1,0 +1,76 @@
+package girg
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// SamplerKind selects the edge-sampling algorithm.
+type SamplerKind int
+
+const (
+	// SamplerAuto uses the fast sampler except for tiny graphs.
+	SamplerAuto SamplerKind = iota
+	// SamplerNaive is the quadratic reference sampler.
+	SamplerNaive
+	// SamplerFast is the expected-linear-time layered sampler.
+	SamplerFast
+)
+
+// Options tweak graph generation beyond the model parameters.
+type Options struct {
+	// Sampler selects the edge sampler (default SamplerAuto).
+	Sampler SamplerKind
+	// Planted vertices occupy ids 0..len(Planted)-1 with caller-fixed
+	// positions and weights; the theorems' adversarial s and t.
+	Planted []Plant
+}
+
+// Generate samples a GIRG from the given parameters and seed. The returned
+// graph carries positions, weights, the model intensity and wmin, which is
+// everything the routing objective needs.
+func Generate(p Params, seed uint64, opts Options) (*graph.Graph, error) {
+	rng := xrand.New(seed)
+	vs, err := SampleVertices(p, rng, opts.Planted)
+	if err != nil {
+		return nil, err
+	}
+	return GenerateEdges(p, vs, rng, opts.Sampler)
+}
+
+// GenerateEdges samples the edge set over an existing vertex set. Exposed
+// separately so experiments can fix a vertex set and compare samplers or
+// regenerate edges.
+func GenerateEdges(p Params, vs *Vertices, rng *xrand.RNG, kind SamplerKind) (*graph.Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return GenerateEdgesKernel(p, NewKernel(p), vs, rng, kind)
+}
+
+// GenerateEdgesKernel samples edges with a custom edge kernel over the
+// vertex set (positions, weights and layering still follow p). The kernel
+// must satisfy the EdgeKernel monotonicity contract.
+func GenerateEdgesKernel(p Params, kernel EdgeKernel, vs *Vertices, rng *xrand.RNG, kind SamplerKind) (*graph.Graph, error) {
+	b, err := graph.NewBuilder(vs.N(), vs.Pos, vs.W, p.N, p.WMin)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case SamplerNaive:
+		NaiveSamplerKernel(p, kernel, vs, rng, b)
+	case SamplerFast:
+		FastSamplerKernel(p, kernel, vs, rng, b)
+	case SamplerAuto:
+		if vs.N() <= 256 {
+			NaiveSamplerKernel(p, kernel, vs, rng, b)
+		} else {
+			FastSamplerKernel(p, kernel, vs, rng, b)
+		}
+	default:
+		return nil, fmt.Errorf("girg: unknown sampler kind %d", kind)
+	}
+	return b.Finish(), nil
+}

@@ -1,0 +1,154 @@
+// Package graphio serializes generated graphs so the CLI tools can exchange
+// them with external analysis pipelines: a plain-text format with a header,
+// one vertex line per vertex (weight and coordinates) and one edge line per
+// edge. The format round-trips everything the routing objectives need
+// (positions, weights, intensity, wmin).
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/torus"
+)
+
+// Write serializes g. The format is line-oriented:
+//
+//	girg <n> <m> <dim> <intensity> <wmin>
+//	v <weight> <x_1> ... <x_dim>      (n lines, vertex id = line order)
+//	e <u> <v>                         (m lines, u < v)
+func Write(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	dim := 0
+	if g.Positions() != nil {
+		dim = g.Space().Dim()
+	}
+	fmt.Fprintf(bw, "girg %d %d %d %g %g\n", g.N(), g.M(), dim, g.Intensity(), g.WMin())
+	for v := 0; v < g.N(); v++ {
+		fmt.Fprintf(bw, "v %g", g.Weight(v))
+		if dim > 0 {
+			for _, c := range g.Pos(v) {
+				fmt.Fprintf(bw, " %g", c)
+			}
+		}
+		bw.WriteByte('\n')
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if int(v) > u {
+				fmt.Fprintf(bw, "e %d %d\n", u, v)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the format produced by Write.
+func Read(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("graphio: empty input")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) != 6 || header[0] != "girg" {
+		return nil, fmt.Errorf("graphio: bad header %q", sc.Text())
+	}
+	var (
+		n, m, dim       int
+		intensity, wmin float64
+		err             error
+	)
+	if n, err = strconv.Atoi(header[1]); err != nil {
+		return nil, fmt.Errorf("graphio: bad n: %w", err)
+	}
+	if m, err = strconv.Atoi(header[2]); err != nil {
+		return nil, fmt.Errorf("graphio: bad m: %w", err)
+	}
+	if dim, err = strconv.Atoi(header[3]); err != nil {
+		return nil, fmt.Errorf("graphio: bad dim: %w", err)
+	}
+	if intensity, err = strconv.ParseFloat(header[4], 64); err != nil {
+		return nil, fmt.Errorf("graphio: bad intensity: %w", err)
+	}
+	if wmin, err = strconv.ParseFloat(header[5], 64); err != nil {
+		return nil, fmt.Errorf("graphio: bad wmin: %w", err)
+	}
+	var pos *torus.Positions
+	if dim > 0 {
+		space, err := torus.NewSpace(dim)
+		if err != nil {
+			return nil, fmt.Errorf("graphio: %w", err)
+		}
+		pos = torus.NewPositions(space, n)
+	}
+	weights := make([]float64, n)
+	coords := make([]float64, dim)
+	for v := 0; v < n; v++ {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("graphio: truncated at vertex %d", v)
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 2+dim || fields[0] != "v" {
+			return nil, fmt.Errorf("graphio: bad vertex line %q", sc.Text())
+		}
+		if weights[v], err = strconv.ParseFloat(fields[1], 64); err != nil {
+			return nil, fmt.Errorf("graphio: bad weight on vertex %d: %w", v, err)
+		}
+		for i := 0; i < dim; i++ {
+			if coords[i], err = strconv.ParseFloat(fields[2+i], 64); err != nil {
+				return nil, fmt.Errorf("graphio: bad coordinate on vertex %d: %w", v, err)
+			}
+		}
+		if pos != nil {
+			pos.Set(v, coords)
+		}
+	}
+	b, err := graph.NewBuilder(n, pos, weights, intensity, wmin)
+	if err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	for i := 0; i < m; i++ {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("graphio: truncated at edge %d", i)
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 3 || fields[0] != "e" {
+			return nil, fmt.Errorf("graphio: bad edge line %q", sc.Text())
+		}
+		u, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graphio: bad edge endpoint: %w", err)
+		}
+		v, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("graphio: bad edge endpoint: %w", err)
+		}
+		if u < 0 || u >= n || v < 0 || v >= n || u == v {
+			return nil, fmt.Errorf("graphio: invalid edge %d-%d", u, v)
+		}
+		b.AddEdge(u, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	return b.Finish(), nil
+}
+
+// WriteEdgeList emits a bare "u<TAB>v" edge list (no attributes), the
+// lowest common denominator for external tools.
+func WriteEdgeList(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if int(v) > u {
+				fmt.Fprintf(bw, "%d\t%d\n", u, v)
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,112 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/girg"
+	"repro/internal/graph"
+)
+
+func sampleGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	p := girg.DefaultParams(400)
+	p.FixedN = true
+	g, err := girg.Generate(p, 7, girg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRoundTrip(t *testing.T) {
+	g := sampleGraph(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("sizes: (%d,%d) vs (%d,%d)", g2.N(), g2.M(), g.N(), g.M())
+	}
+	if g2.Intensity() != g.Intensity() || g2.WMin() != g.WMin() {
+		t.Fatal("model params lost")
+	}
+	for v := 0; v < g.N(); v++ {
+		if g2.Weight(v) != g.Weight(v) {
+			t.Fatalf("weight of %d: %v vs %v", v, g2.Weight(v), g.Weight(v))
+		}
+		p1, p2 := g.Pos(v), g2.Pos(v)
+		for i := range p1 {
+			if p1[i] != p2[i] {
+				t.Fatalf("position of %d differs", v)
+			}
+		}
+		a, b := g.Neighbors(v), g2.Neighbors(v)
+		if len(a) != len(b) {
+			t.Fatalf("degree of %d differs", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("adjacency of %d differs", v)
+			}
+		}
+	}
+}
+
+func TestRoundTripNoGeometry(t *testing.T) {
+	b, _ := graph.NewBuilder(3, nil, nil, 3, 1)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.Finish()
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != 3 || g2.M() != 2 || g2.Pos(0) != nil {
+		t.Fatalf("roundtrip: N=%d M=%d", g2.N(), g2.M())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"bad header":       "foo 1 2 3\n",
+		"bad n":            "girg x 0 0 1 1\n",
+		"truncated vertex": "girg 2 0 0 2 1\nv 1\n",
+		"bad vertex":       "girg 1 0 0 1 1\nw 1\n",
+		"bad weight":       "girg 1 0 0 1 1\nv abc\n",
+		"truncated edge":   "girg 2 1 0 2 1\nv 1\nv 1\n",
+		"bad edge":         "girg 2 1 0 2 1\nv 1\nv 1\ne 0 5\n",
+		"self loop":        "girg 2 1 0 2 1\nv 1\nv 1\ne 1 1\n",
+		"wrong dim count":  "girg 1 0 2 1 1\nv 1 0.5\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestWriteEdgeList(t *testing.T) {
+	b, _ := graph.NewBuilder(4, nil, nil, 4, 1)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 1)
+	g := b.Finish()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	want := "0\t1\n1\t2\n"
+	if buf.String() != want {
+		t.Fatalf("edge list %q, want %q", buf.String(), want)
+	}
+}

@@ -1,0 +1,43 @@
+package hrg_test
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/hrg"
+	"repro/internal/route"
+)
+
+// Example samples a hyperbolic random graph and routes a packet by pure
+// geometry (Corollary 3.6).
+func Example() {
+	p := hrg.DefaultParams(3000)
+	p.CH = 0 // denser disk for a solid giant component
+	g, err := hrg.Generate(p, 7)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	giant := graph.GiantComponent(g)
+	s, t := giant[0], giant[len(giant)-1]
+	res := route.Greedy(g, hrg.NewObjective(p, g, t), s)
+	fmt.Println("delivered:", res.Success)
+	// Output:
+	// delivered: true
+}
+
+// ExampleGenerateFast draws an exact hyperbolic random graph with the
+// layered Fermi-Dirac sampler, past the quadratic sampler's reach.
+func ExampleGenerateFast() {
+	p := hrg.DefaultParams(50000)
+	g, err := hrg.GenerateFast(p, 17)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("vertices:", g.N())
+	fmt.Println("sparse:", 2*float64(g.M())/float64(g.N()) < 50)
+	// Output:
+	// vertices: 50000
+	// sparse: true
+}

@@ -1,0 +1,158 @@
+package hrg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/route"
+	"repro/internal/xrand"
+)
+
+func TestFermiDiracKernelMatchesEdgeProb(t *testing.T) {
+	// The kernel over mapped coordinates must reproduce EdgeProb over the
+	// original hyperbolic coordinates.
+	for _, temp := range []float64{0, 0.3, 0.8} {
+		p := DefaultParams(2000)
+		p.TH = temp
+		k := NewFermiDiracKernel(p)
+		rng := xrand.New(7)
+		for trial := 0; trial < 3000; trial++ {
+			a := Coord{R: SampleRadius(p, rng), Nu: rng.Float64() * 2 * math.Pi}
+			b := Coord{R: SampleRadius(p, rng), Nu: rng.Float64() * 2 * math.Pi}
+			wa, xa := p.ToGIRG(a)
+			wb, xb := p.ToGIRG(b)
+			dist := math.Abs(xa - xb)
+			if dist > 0.5 {
+				dist = 1 - dist
+			}
+			want := p.EdgeProb(Dist(a, b))
+			got := k.Prob(wa, wb, dist)
+			if math.Abs(got-want) > 1e-6 {
+				t.Fatalf("T=%v: kernel %v vs EdgeProb %v (dH=%v R=%v)",
+					temp, got, want, Dist(a, b), p.R())
+			}
+		}
+	}
+}
+
+func TestFermiDiracKernelMonotone(t *testing.T) {
+	p := DefaultParams(5000)
+	p.TH = 0.5
+	k := NewFermiDiracKernel(p)
+	rng := xrand.New(9)
+	for trial := 0; trial < 2000; trial++ {
+		wu := float64(p.N) * math.Exp(-SampleRadius(p, rng)/2)
+		wv := float64(p.N) * math.Exp(-SampleRadius(p, rng)/2)
+		d1 := rng.Float64() * 0.25
+		d2 := d1 + rng.Float64()*0.25
+		if k.Prob(wu, wv, d2) > k.Prob(wu, wv, d1)+1e-12 {
+			t.Fatalf("kernel not decreasing in distance")
+		}
+		if k.Prob(wu*1.5, wv, d1) < k.Prob(wu, wv, d1)-1e-12 {
+			t.Fatalf("kernel not increasing in weight")
+		}
+	}
+}
+
+// TestFastMatchesNativeThreshold: for T = 0 the edge set is deterministic,
+// so the quadratic native sampler and the layered fast sampler must emit
+// the identical graph over shared coordinates.
+func TestFastMatchesNativeThreshold(t *testing.T) {
+	p := DefaultParams(1500)
+	p.CH = 0.5
+	coords := SampleCoords(p, xrand.New(11))
+	native, err := GenerateWithCoords(p, coords, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := GenerateFastWithCoords(p, coords, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if native.M() != fast.M() {
+		t.Fatalf("edge counts differ: native %d, fast %d", native.M(), fast.M())
+	}
+	for v := 0; v < native.N(); v++ {
+		a, b := native.Neighbors(v), fast.Neighbors(v)
+		if len(a) != len(b) {
+			t.Fatalf("degree of %d differs: %d vs %d", v, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("adjacency of %d differs", v)
+			}
+		}
+	}
+}
+
+// TestFastMatchesNativeTemperature compares edge-count distributions for
+// T > 0 (stochastic, so statistically).
+func TestFastMatchesNativeTemperature(t *testing.T) {
+	p := DefaultParams(800)
+	p.TH = 0.5
+	coords := SampleCoords(p, xrand.New(13))
+	const reps = 15
+	mean := func(gen func(r uint64) (*graph.Graph, error)) float64 {
+		sum := 0.0
+		for r := uint64(0); r < reps; r++ {
+			g, err := gen(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += float64(g.M())
+		}
+		return sum / reps
+	}
+	native := mean(func(r uint64) (*graph.Graph, error) {
+		return GenerateWithCoords(p, coords, 100+r)
+	})
+	fast := mean(func(r uint64) (*graph.Graph, error) {
+		return GenerateFastWithCoords(p, coords, xrand.New(200+r))
+	})
+	if math.Abs(native-fast)/native > 0.08 {
+		t.Fatalf("mean edges: native %v vs fast %v", native, fast)
+	}
+}
+
+func TestGenerateFastLargeScaleRouting(t *testing.T) {
+	// The point of the fast sampler: HRGs beyond the quadratic barrier.
+	p := DefaultParams(50000)
+	p.CH = 0.5
+	g, err := GenerateFast(p, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 50000 {
+		t.Fatalf("N = %d", g.N())
+	}
+	giant := graph.GiantComponent(g)
+	if len(giant) < g.N()/3 {
+		t.Fatalf("giant %d of %d", len(giant), g.N())
+	}
+	rng := xrand.New(18)
+	success := 0
+	const pairs = 60
+	for i := 0; i < pairs; i++ {
+		s := giant[rng.IntN(len(giant))]
+		tgt := giant[rng.IntN(len(giant))]
+		if s == tgt {
+			continue
+		}
+		if route.Greedy(g, NewObjective(p, g, tgt), s).Success {
+			success++
+		}
+	}
+	if rate := float64(success) / pairs; rate < 0.5 {
+		t.Fatalf("greedy success on fast-sampled HRG: %v", rate)
+	}
+}
+
+func BenchmarkGenerateFast50k(b *testing.B) {
+	p := DefaultParams(50000)
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateFast(p, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

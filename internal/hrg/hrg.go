@@ -1,0 +1,245 @@
+// Package hrg implements hyperbolic random graphs (Krioukov et al.), the
+// special case of GIRGs treated in Section 11 of the paper, together with
+// the GIRG embedding of [17, Theorem 6.3] and the induced geometric routing
+// objective phi_H. Corollary 3.6 transfers all routing results to this
+// model; experiment E8 verifies that empirically.
+//
+// The model (Definition 11.1): n vertices on a hyperbolic disk of radius
+// R = 2 ln n + C_H; vertex v gets a uniform angle nu_v in [0, 2pi) and a
+// radius r_v with density alpha_H sinh(alpha_H r)/(cosh(alpha_H R) - 1).
+// In the threshold case (T_H -> 0) vertices connect iff their hyperbolic
+// distance is at most R; for T_H > 0 the edge probability is the Fermi-Dirac
+// form 1/(1 + e^{(d_H - R)/(2 T_H)}).
+//
+// The embedding into a 1-dimensional GIRG uses
+//
+//	w_v = n * e^{-r_v/2},  x_v = nu_v / (2 pi),
+//	beta = 2 alpha_H + 1,  alpha = 1/T_H,  w_min = e^{-C_H/2},
+//
+// and is invertible: r_v = 2 ln(n / w_v), nu_v = 2 pi x_v. Generated graphs
+// store the GIRG coordinates, so the standard objective of package route
+// works on them unchanged, and the hyperbolic coordinates are recovered on
+// demand.
+package hrg
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/girg"
+	"repro/internal/graph"
+	"repro/internal/route"
+	"repro/internal/torus"
+	"repro/internal/xrand"
+)
+
+// Params are the free parameters of the hyperbolic random graph model.
+type Params struct {
+	// N is the number of vertices.
+	N int
+	// AlphaH controls the radial density; the degree power law is
+	// beta = 2*AlphaH + 1, so AlphaH in (1/2, 1) is the scale-free regime.
+	AlphaH float64
+	// CH shifts the disk radius R = 2 ln N + CH, controlling the average
+	// degree (larger CH = sparser).
+	CH float64
+	// TH is the temperature; 0 selects the threshold model.
+	TH float64
+}
+
+// DefaultParams returns the base point used by experiment E8: the threshold
+// model with beta = 2.5.
+func DefaultParams(n int) Params {
+	return Params{N: n, AlphaH: 0.75, CH: 1, TH: 0}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.N < 1 {
+		return fmt.Errorf("hrg: N = %d, need >= 1", p.N)
+	}
+	if !(p.AlphaH > 0.5) {
+		return fmt.Errorf("hrg: alphaH = %v, need > 1/2", p.AlphaH)
+	}
+	if p.TH < 0 {
+		return fmt.Errorf("hrg: temperature %v negative", p.TH)
+	}
+	return nil
+}
+
+// R returns the disk radius 2 ln N + CH.
+func (p Params) R() float64 { return 2*math.Log(float64(p.N)) + p.CH }
+
+// Beta returns the degree power-law exponent 2*AlphaH + 1 of the model.
+func (p Params) Beta() float64 { return 2*p.AlphaH + 1 }
+
+// GIRGParams returns the parameters of the 1-dimensional GIRG the model
+// embeds into (Section 11). For the threshold model Alpha is +Inf.
+func (p Params) GIRGParams() girg.Params {
+	alpha := math.Inf(1)
+	if p.TH > 0 {
+		alpha = 1 / p.TH
+	}
+	return girg.Params{
+		N:      float64(p.N),
+		Dim:    1,
+		Beta:   p.Beta(),
+		Alpha:  alpha,
+		WMin:   math.Exp(-p.CH / 2),
+		Lambda: 1,
+		FixedN: true,
+	}
+}
+
+// Coord is a point of the hyperbolic disk in polar coordinates.
+type Coord struct {
+	R  float64 // radius from the origin
+	Nu float64 // angle in [0, 2 pi)
+}
+
+// Dist returns the hyperbolic distance between two points: the non-negative
+// solution of cosh(d) = cosh(r1)cosh(r2) - sinh(r1)sinh(r2)cos(nu1 - nu2).
+func Dist(a, b Coord) float64 {
+	return math.Acosh(CoshDist(a, b))
+}
+
+// CoshDist returns cosh of the hyperbolic distance (cheaper than Dist and
+// order-equivalent, since cosh is increasing).
+func CoshDist(a, b Coord) float64 {
+	c := math.Cosh(a.R)*math.Cosh(b.R) - math.Sinh(a.R)*math.Sinh(b.R)*math.Cos(a.Nu-b.Nu)
+	if c < 1 {
+		c = 1 // numeric noise below cosh(0)
+	}
+	return c
+}
+
+// SampleRadius draws a radius with density alphaH sinh(alphaH r) /
+// (cosh(alphaH R) - 1) on [0, R] by CDF inversion.
+func SampleRadius(p Params, rng *xrand.RNG) float64 {
+	u := rng.Float64()
+	return math.Acosh(1+u*(math.Cosh(p.AlphaH*p.R())-1)) / p.AlphaH
+}
+
+// EdgeProb returns the connection probability for hyperbolic distance d.
+func (p Params) EdgeProb(d float64) float64 {
+	r := p.R()
+	if p.TH == 0 {
+		if d <= r {
+			return 1
+		}
+		return 0
+	}
+	return 1 / (1 + math.Exp((d-r)/(2*p.TH)))
+}
+
+// ToGIRG maps a hyperbolic coordinate to the GIRG (weight, torus position)
+// pair of the Section 11 embedding.
+func (p Params) ToGIRG(c Coord) (w, x float64) {
+	return float64(p.N) * math.Exp(-c.R/2), torus.Wrap(c.Nu / (2 * math.Pi))
+}
+
+// FromGIRG inverts ToGIRG.
+func (p Params) FromGIRG(w, x float64) Coord {
+	return Coord{
+		R:  2 * math.Log(float64(p.N)/w),
+		Nu: 2 * math.Pi * x,
+	}
+}
+
+// CoordOf recovers the hyperbolic coordinates of vertex v of a generated
+// graph from its stored GIRG attributes.
+func (p Params) CoordOf(g *graph.Graph, v int) Coord {
+	return p.FromGIRG(g.Weight(v), g.Pos(v)[0])
+}
+
+// Generate samples a hyperbolic random graph. The returned graph stores the
+// mapped GIRG coordinates (1-dimensional torus positions and weights), so
+// both the standard GIRG objective and the hyperbolic objective can route
+// on it. Edge sampling is exact per Definition 11.1 and quadratic in N;
+// keep N below ~50000.
+func Generate(p Params, seed uint64) (*graph.Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := xrand.New(seed)
+	coords := make([]Coord, p.N)
+	for i := range coords {
+		coords[i] = Coord{R: SampleRadius(p, rng), Nu: rng.Float64() * 2 * math.Pi}
+	}
+	return generateFromCoords(p, coords, rng)
+}
+
+// GenerateWithCoords samples edges over caller-fixed coordinates (used to
+// plant s and t, and by tests).
+func GenerateWithCoords(p Params, coords []Coord, seed uint64) (*graph.Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(coords) != p.N {
+		return nil, fmt.Errorf("hrg: %d coordinates for N = %d", len(coords), p.N)
+	}
+	return generateFromCoords(p, coords, xrand.New(seed))
+}
+
+func generateFromCoords(p Params, coords []Coord, rng *xrand.RNG) (*graph.Graph, error) {
+	space := torus.MustSpace(1)
+	pos := torus.NewPositions(space, p.N)
+	weights := make([]float64, p.N)
+	for i, c := range coords {
+		w, x := p.ToGIRG(c)
+		weights[i] = w
+		pos.Set(i, []float64{x})
+	}
+	gp := p.GIRGParams()
+	b, err := graph.NewBuilder(p.N, pos, weights, gp.N, gp.WMin)
+	if err != nil {
+		return nil, err
+	}
+	// Precompute cosh/sinh once per vertex; the pair loop then needs only
+	// one cosine per pair.
+	coshR := make([]float64, p.N)
+	sinhR := make([]float64, p.N)
+	for i, c := range coords {
+		coshR[i] = math.Cosh(c.R)
+		sinhR[i] = math.Sinh(c.R)
+	}
+	coshThreshold := math.Cosh(p.R())
+	for u := 0; u < p.N; u++ {
+		for v := u + 1; v < p.N; v++ {
+			coshD := coshR[u]*coshR[v] - sinhR[u]*sinhR[v]*math.Cos(coords[u].Nu-coords[v].Nu)
+			if p.TH == 0 {
+				if coshD <= coshThreshold {
+					b.AddEdge(u, v)
+				}
+				continue
+			}
+			if coshD < 1 {
+				coshD = 1
+			}
+			if rng.Bernoulli(p.EdgeProb(math.Acosh(coshD))) {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Finish(), nil
+}
+
+// NewObjective returns the geometric routing objective of Section 11:
+//
+//	phi_H(v) = n / (w_t * w_min * sqrt(cosh(d_H(v, t)))),
+//
+// whose maximization is equivalent to minimizing the hyperbolic distance to
+// the target — i.e. the greedy forwarding rule of the experimental
+// literature. Lemma 11.2 shows phi_H = Theta(phi) for most vertices, which
+// is how Corollary 3.6 follows from Theorem 3.5.
+func NewObjective(p Params, g *graph.Graph, t int) route.Objective {
+	ct := p.CoordOf(g, t)
+	norm := float64(p.N) / (g.Weight(t) * g.WMin())
+	score := func(v int) float64 {
+		if v == t {
+			return math.Inf(1)
+		}
+		return norm / math.Sqrt(CoshDist(p.CoordOf(g, v), ct))
+	}
+	return route.Objective{Target: t, Score: score}
+}

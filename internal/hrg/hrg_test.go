@@ -1,0 +1,331 @@
+package hrg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/route"
+	"repro/internal/xrand"
+)
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams(100).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{N: 0, AlphaH: 0.75},
+		{N: 10, AlphaH: 0.5},
+		{N: 10, AlphaH: 0.75, TH: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestRAndBeta(t *testing.T) {
+	p := Params{N: 1000, AlphaH: 0.75, CH: 2}
+	if got := p.R(); math.Abs(got-(2*math.Log(1000)+2)) > 1e-12 {
+		t.Fatalf("R = %v", got)
+	}
+	if got := p.Beta(); got != 2.5 {
+		t.Fatalf("Beta = %v", got)
+	}
+}
+
+func TestDistSymmetricNonNegative(t *testing.T) {
+	rng := xrand.New(1)
+	p := DefaultParams(1000)
+	for i := 0; i < 2000; i++ {
+		a := Coord{R: SampleRadius(p, rng), Nu: rng.Float64() * 2 * math.Pi}
+		b := Coord{R: SampleRadius(p, rng), Nu: rng.Float64() * 2 * math.Pi}
+		dab, dba := Dist(a, b), Dist(b, a)
+		if math.Abs(dab-dba) > 1e-9 {
+			t.Fatalf("asymmetric distance %v vs %v", dab, dba)
+		}
+		if dab < 0 {
+			t.Fatalf("negative distance %v", dab)
+		}
+		// cosh/sinh cancellation limits absolute precision for radii near
+		// R ~ 15; self-distance noise up to ~0.01 is expected and harmless
+		// (typical distances are ~R).
+		if d := Dist(a, a); d > 0.05 {
+			t.Fatalf("Dist(a,a) = %v", d)
+		}
+	}
+}
+
+func TestDistOriginIsRadius(t *testing.T) {
+	// Distance from the origin (r=0) to a point equals the point's radius.
+	a := Coord{R: 0, Nu: 0}
+	for _, r := range []float64{0.5, 1, 3, 10} {
+		b := Coord{R: r, Nu: 2.1}
+		if d := Dist(a, b); math.Abs(d-r) > 1e-9 {
+			t.Fatalf("Dist(origin, r=%v) = %v", r, d)
+		}
+	}
+}
+
+func TestDistSameAngle(t *testing.T) {
+	// Same angle: distance is |r1 - r2|.
+	a := Coord{R: 5, Nu: 1}
+	b := Coord{R: 2, Nu: 1}
+	if d := Dist(a, b); math.Abs(d-3) > 1e-9 {
+		t.Fatalf("radial distance = %v, want 3", d)
+	}
+}
+
+func TestSampleRadiusRange(t *testing.T) {
+	p := DefaultParams(1000)
+	rng := xrand.New(2)
+	R := p.R()
+	for i := 0; i < 10000; i++ {
+		r := SampleRadius(p, rng)
+		if r < 0 || r > R {
+			t.Fatalf("radius %v outside [0, %v]", r, R)
+		}
+	}
+}
+
+func TestSampleRadiusCDF(t *testing.T) {
+	// Empirical CDF at R/2 must match (cosh(aH R/2)-1)/(cosh(aH R)-1).
+	p := DefaultParams(1000)
+	rng := xrand.New(3)
+	R := p.R()
+	const n = 200000
+	count := 0
+	for i := 0; i < n; i++ {
+		if SampleRadius(p, rng) <= R/2 {
+			count++
+		}
+	}
+	got := float64(count) / n
+	want := (math.Cosh(p.AlphaH*R/2) - 1) / (math.Cosh(p.AlphaH*R) - 1)
+	if math.Abs(got-want) > 5*math.Sqrt(want/n)+1e-4 {
+		t.Fatalf("CDF at R/2: got %v want %v", got, want)
+	}
+}
+
+func TestGIRGMappingRoundTrip(t *testing.T) {
+	p := DefaultParams(500)
+	rng := xrand.New(4)
+	for i := 0; i < 1000; i++ {
+		c := Coord{R: SampleRadius(p, rng), Nu: rng.Float64() * 2 * math.Pi}
+		w, x := p.ToGIRG(c)
+		back := p.FromGIRG(w, x)
+		if math.Abs(back.R-c.R) > 1e-9 || math.Abs(back.Nu-c.Nu) > 1e-9 {
+			t.Fatalf("roundtrip %v -> (%v, %v) -> %v", c, w, x, back)
+		}
+	}
+}
+
+func TestGIRGParamsMapping(t *testing.T) {
+	p := Params{N: 1000, AlphaH: 0.75, CH: 2, TH: 0.5}
+	gp := p.GIRGParams()
+	if gp.Dim != 1 || gp.Beta != 2.5 || gp.Alpha != 2 {
+		t.Fatalf("mapped params %+v", gp)
+	}
+	if math.Abs(gp.WMin-math.Exp(-1)) > 1e-12 {
+		t.Fatalf("wmin %v", gp.WMin)
+	}
+	p.TH = 0
+	if !math.IsInf(p.GIRGParams().Alpha, 1) {
+		t.Fatal("threshold model should map to alpha = Inf")
+	}
+	if err := p.GIRGParams().Validate(); err != nil {
+		t.Fatalf("mapped params invalid: %v", err)
+	}
+}
+
+func TestWeightsArePowerLaw(t *testing.T) {
+	// Mapped weights follow a power law with exponent beta = 2 alphaH + 1:
+	// P(w >= x) ~ (x/wmin)^(1-beta).
+	p := DefaultParams(20000)
+	g, err := Generate(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wmin := p.GIRGParams().WMin
+	count := func(x float64) float64 {
+		c := 0
+		for v := 0; v < g.N(); v++ {
+			if g.Weight(v) >= x {
+				c++
+			}
+		}
+		return float64(c) / float64(g.N())
+	}
+	for _, mult := range []float64{4, 16} {
+		x := wmin * mult
+		got := count(x)
+		want := math.Pow(mult, 1-p.Beta())
+		if got < want/2 || got > want*2 {
+			t.Errorf("tail P(w >= %v wmin): got %v want ~%v", mult, got, want)
+		}
+	}
+}
+
+func TestThresholdEdgesExact(t *testing.T) {
+	// In the threshold model the edge set is deterministic: u ~ v iff
+	// d_H(u,v) <= R. Verify against direct recomputation.
+	p := DefaultParams(300)
+	g, err := Generate(p, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	R := p.R()
+	for u := 0; u < g.N(); u++ {
+		cu := p.CoordOf(g, u)
+		for v := u + 1; v < g.N(); v++ {
+			want := Dist(cu, p.CoordOf(g, v)) <= R
+			if got := g.HasEdge(u, v); got != want {
+				t.Fatalf("edge (%d,%d): got %v want %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestTemperatureIncreasesRandomness(t *testing.T) {
+	// With TH > 0 some pairs beyond R connect and some within R do not.
+	p := DefaultParams(800)
+	p.TH = 0.8
+	g, err := Generate(p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	R := p.R()
+	longEdges, missingShort := 0, 0
+	for u := 0; u < g.N(); u++ {
+		cu := p.CoordOf(g, u)
+		for v := u + 1; v < g.N(); v++ {
+			within := Dist(cu, p.CoordOf(g, v)) <= R
+			has := g.HasEdge(u, v)
+			if has && !within {
+				longEdges++
+			}
+			if !has && within {
+				missingShort++
+			}
+		}
+	}
+	if longEdges == 0 || missingShort == 0 {
+		t.Fatalf("temperature had no effect: long=%d missingShort=%d", longEdges, missingShort)
+	}
+}
+
+func TestEdgeProb(t *testing.T) {
+	p := DefaultParams(100)
+	R := p.R()
+	if p.EdgeProb(R-1) != 1 || p.EdgeProb(R+1) != 0 {
+		t.Fatal("threshold edge prob wrong")
+	}
+	p.TH = 0.5
+	if got := p.EdgeProb(R); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("EdgeProb at R = %v, want 0.5", got)
+	}
+	if p.EdgeProb(R-5) <= p.EdgeProb(R+5) {
+		t.Fatal("edge prob not decreasing")
+	}
+}
+
+func TestGenerateWithCoordsValidation(t *testing.T) {
+	p := DefaultParams(10)
+	if _, err := GenerateWithCoords(p, make([]Coord, 5), 1); err == nil {
+		t.Fatal("mismatched coordinate count accepted")
+	}
+}
+
+func TestObjectiveOrdersByHyperbolicDistance(t *testing.T) {
+	p := DefaultParams(500)
+	g, err := Generate(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := NewObjective(p, g, 0)
+	if !math.IsInf(obj.Score(0), 1) {
+		t.Fatal("target score not +Inf")
+	}
+	c0 := p.CoordOf(g, 0)
+	for u := 1; u < 80; u++ {
+		for v := u + 1; v < 80; v++ {
+			du := Dist(p.CoordOf(g, u), c0)
+			dv := Dist(p.CoordOf(g, v), c0)
+			if (du < dv) != (obj.Score(u) > obj.Score(v)) {
+				t.Fatalf("phi_H ordering disagrees with hyperbolic distance")
+			}
+		}
+	}
+}
+
+func TestLemma112PhiHMatchesPhi(t *testing.T) {
+	// Lemma 11.2: for vertices with moderate objective, phi_H = Theta(phi).
+	// Empirically the ratio phi_H/phi should live in a bounded band for the
+	// bulk of the vertices.
+	p := DefaultParams(3000)
+	g, err := Generate(p, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := 0
+	phiH := NewObjective(p, g, tgt)
+	phi := route.NewStandard(g, tgt)
+	var ratios []float64
+	for v := 1; v < g.N(); v++ {
+		if sc := phi.Score(v); sc < 1e-3 { // moderate-objective bulk
+			ratios = append(ratios, phiH.Score(v)/sc)
+		}
+	}
+	if len(ratios) < 100 {
+		t.Fatalf("only %d bulk vertices", len(ratios))
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range ratios {
+		lo = math.Min(lo, r)
+		hi = math.Max(hi, r)
+	}
+	if hi/lo > 50 {
+		t.Fatalf("phi_H/phi spread too wide: [%v, %v]", lo, hi)
+	}
+}
+
+func TestGeometricRoutingOnHRGWorks(t *testing.T) {
+	// Corollary 3.6 smoke test: greedy routing under phi_H in the giant
+	// succeeds with decent probability.
+	p := DefaultParams(3000)
+	p.CH = 0 // denser disk, solid giant component
+	g, err := Generate(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	giant := graph.GiantComponent(g)
+	if len(giant) < g.N()/3 {
+		t.Fatalf("giant too small: %d of %d", len(giant), g.N())
+	}
+	rng := xrand.New(11)
+	const pairs = 150
+	success := 0
+	for i := 0; i < pairs; i++ {
+		s := giant[rng.IntN(len(giant))]
+		tgt := giant[rng.IntN(len(giant))]
+		if s == tgt {
+			continue
+		}
+		if route.Greedy(g, NewObjective(p, g, tgt), s).Success {
+			success++
+		}
+	}
+	if rate := float64(success) / pairs; rate < 0.3 {
+		t.Fatalf("phi_H greedy success rate %v", rate)
+	}
+}
+
+func BenchmarkGenerate2k(b *testing.B) {
+	p := DefaultParams(2000)
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(p, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+// Package kleinberg implements Kleinberg's small-world lattice model and the
+// "noisy positions" continuum variant, the baselines of Section 1.1 of the
+// paper. The lattice model shows greedy routing in O(log^2 n) steps at the
+// critical exponent and polynomial slowdown away from it (the "fragile
+// exponent" shortcoming); the continuum variant — identical long-range edge
+// law but random vertex positions instead of a perfect grid — shows greedy
+// routing failing outright (the "perfect lattice" shortcoming). Both are
+// what experiment E9 compares GIRG routing against.
+package kleinberg
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/route"
+	"repro/internal/torus"
+	"repro/internal/xrand"
+)
+
+// GridParams describes the toroidal lattice model: an L x L grid where each
+// node has its four lattice neighbors plus Q independent long-range
+// contacts, the contact at lattice (Manhattan) distance k chosen with
+// probability proportional to k^-R. Kleinberg's critical exponent is R = 2
+// (= the lattice dimension); R != 2 degrades routing polynomially.
+type GridParams struct {
+	// L is the grid side length; the graph has L*L vertices.
+	L int
+	// Q is the number of long-range contacts per node.
+	Q int
+	// R is the decay exponent of the long-range distribution.
+	R float64
+}
+
+// Validate checks the parameters.
+func (p GridParams) Validate() error {
+	if p.L < 4 {
+		return fmt.Errorf("kleinberg: grid side %d too small", p.L)
+	}
+	if p.Q < 0 {
+		return fmt.Errorf("kleinberg: negative contact count %d", p.Q)
+	}
+	if p.R < 0 {
+		return fmt.Errorf("kleinberg: negative exponent %v", p.R)
+	}
+	return nil
+}
+
+// Grid is a sampled instance of the lattice model.
+type Grid struct {
+	params GridParams
+	g      *graph.Graph
+}
+
+// GenerateGrid samples the lattice model. Long-range distances are drawn by
+// inverse CDF over the ring sizes (4k nodes at Manhattan distance k on the
+// torus), so generation costs O(L^2 * Q) after an O(L) table build.
+func GenerateGrid(p GridParams, seed uint64) (*Grid, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := xrand.New(seed)
+	n := p.L * p.L
+	space := torus.MustSpace(2)
+	pos := torus.NewPositions(space, n)
+	for i := 0; i < n; i++ {
+		x, y := i%p.L, i/p.L
+		pos.Set(i, []float64{(float64(x) + 0.5) / float64(p.L), (float64(y) + 0.5) / float64(p.L)})
+	}
+	b, err := graph.NewBuilder(n, pos, nil, float64(n), 1)
+	if err != nil {
+		return nil, err
+	}
+	// Lattice edges (right and down close the torus).
+	for i := 0; i < n; i++ {
+		x, y := i%p.L, i/p.L
+		b.AddEdge(i, y*p.L+(x+1)%p.L)
+		b.AddEdge(i, ((y+1)%p.L)*p.L+x)
+	}
+	// Cumulative distribution over Manhattan distances k = 1..L/2-1 with
+	// weight 4k * k^-R.
+	maxK := p.L/2 - 1
+	if maxK < 1 {
+		maxK = 1
+	}
+	cdf := make([]float64, maxK+1)
+	for k := 1; k <= maxK; k++ {
+		cdf[k] = cdf[k-1] + 4*float64(k)*math.Pow(float64(k), -p.R)
+	}
+	total := cdf[maxK]
+	for i := 0; i < n; i++ {
+		for q := 0; q < p.Q; q++ {
+			k := sampleCDF(cdf, rng.Float64()*total)
+			j := nodeAtDistance(p.L, i, k, rng.IntN(4*k))
+			if j != i {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	return &Grid{params: p, g: b.Finish()}, nil
+}
+
+// sampleCDF returns the smallest k with cdf[k] > u.
+func sampleCDF(cdf []float64, u float64) int {
+	lo, hi := 1, len(cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cdf[mid] > u {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// nodeAtDistance returns the idx-th node (0 <= idx < 4k) at exact Manhattan
+// distance k from node i on the L-torus. The 4k offsets are enumerated as
+// (dx, k-|dx|) and (dx, -(k-|dx|)).
+func nodeAtDistance(l, i, k, idx int) int {
+	x, y := i%l, i/l
+	var dx, dy int
+	if idx < 2*k {
+		dx = idx - k + 1 // in [-k+1, k]
+		dy = k - abs(dx)
+	} else {
+		dx = idx - 2*k - k // in [-k, k-1]
+		dy = -(k - abs(dx))
+	}
+	nx := ((x+dx)%l + l) % l
+	ny := ((y+dy)%l + l) % l
+	return ny*l + nx
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// Graph exposes the underlying graph.
+func (gr *Grid) Graph() *graph.Graph { return gr.g }
+
+// N returns the number of vertices.
+func (gr *Grid) N() int { return gr.g.N() }
+
+// LatticeDist returns the toroidal Manhattan distance between nodes u, v.
+func (gr *Grid) LatticeDist(u, v int) int {
+	l := gr.params.L
+	dx := abs(u%l - v%l)
+	if l-dx < dx {
+		dx = l - dx
+	}
+	dy := abs(u/l - v/l)
+	if l-dy < dy {
+		dy = l - dy
+	}
+	return dx + dy
+}
+
+// Objective returns the lattice greedy-routing objective toward t: nodes
+// closer in Manhattan distance score higher. This is Kleinberg's
+// decentralized algorithm when plugged into route.Greedy.
+func (gr *Grid) Objective(t int) route.Objective {
+	return route.Objective{Target: t, Score: func(v int) float64 {
+		if v == t {
+			return math.Inf(1)
+		}
+		return 1 / float64(gr.LatticeDist(v, t))
+	}}
+}
+
+// ContinuumParams describes the "noisy positions" variant: n points placed
+// uniformly at random on the 2-torus, each with Q long-range edges sampled
+// with probability proportional to ||x_u - x_v||^(-2*AlphaDecay) — the same
+// edge law as the lattice model (R = 2*AlphaDecay in the grid
+// parametrization, with the lattice removed). Section 1.1 argues greedy
+// routing fails on this model with high probability, which motivates GIRGs.
+type ContinuumParams struct {
+	// N is the number of vertices.
+	N int
+	// Q is the number of long-range edges per node.
+	Q int
+	// AlphaDecay is the alpha of the dist^(-alpha*d) law with d = 2.
+	AlphaDecay float64
+}
+
+// Validate checks the parameters.
+func (p ContinuumParams) Validate() error {
+	if p.N < 2 {
+		return fmt.Errorf("kleinberg: continuum N = %d too small", p.N)
+	}
+	if p.Q < 1 {
+		return fmt.Errorf("kleinberg: continuum Q = %d, need >= 1", p.Q)
+	}
+	if p.AlphaDecay <= 0 {
+		return fmt.Errorf("kleinberg: continuum alpha = %v, need > 0", p.AlphaDecay)
+	}
+	return nil
+}
+
+// GenerateContinuum samples the continuum variant. Endpoint selection is
+// exact (cumulative weights over all other vertices), costing O(N^2); keep
+// N at most a few tens of thousands.
+func GenerateContinuum(p ContinuumParams, seed uint64) (*graph.Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := xrand.New(seed)
+	space := torus.MustSpace(2)
+	pos := torus.NewPositions(space, p.N)
+	buf := make([]float64, 2)
+	for i := 0; i < p.N; i++ {
+		buf[0], buf[1] = rng.Float64(), rng.Float64()
+		pos.Set(i, buf)
+	}
+	b, err := graph.NewBuilder(p.N, pos, nil, float64(p.N), 1)
+	if err != nil {
+		return nil, err
+	}
+	weights := make([]float64, p.N)
+	exp := -2 * p.AlphaDecay
+	for u := 0; u < p.N; u++ {
+		total := 0.0
+		pu := pos.At(u)
+		for v := 0; v < p.N; v++ {
+			if v != u {
+				total += math.Pow(space.Dist(pu, pos.At(v)), exp)
+			}
+			// The self entry repeats the running total, keeping the array
+			// non-decreasing; binary search can then never land on u.
+			weights[v] = total
+		}
+		for q := 0; q < p.Q; q++ {
+			u0 := rng.Float64() * total
+			v := searchCum(weights, u0)
+			if v != u {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Finish(), nil
+}
+
+// searchCum returns the first index whose cumulative weight exceeds u.
+func searchCum(cum []float64, u float64) int {
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] > u {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

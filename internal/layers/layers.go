@@ -1,0 +1,218 @@
+// Package layers implements the layer decomposition at the heart of the
+// paper's proofs (Sections 7.3 and 8.1) as executable, checkable structure:
+// vertices split into the first-phase class V1 (phi(v) <= w_v^-gamma) and
+// the second-phase class V2, the first phase is cut into weight layers
+// growing doubly exponentially (y_{j+1} = y_j^{gamma(zeta eps)}), the second
+// into objective layers falling doubly exponentially
+// (psi_{j+1} = psi_j^{gamma(eps)}).
+//
+// Lemma 8.1 proves that a.a.s. a greedy path crosses these layers in order,
+// visiting each at most once, and Section 4 ("Trajectory of a Greedy Path")
+// claims it visits a (1-o(1))-fraction of them. AnalyzePath measures
+// exactly these properties on concrete paths; experiment E15 aggregates
+// them over many routings.
+package layers
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/route"
+)
+
+// Phase classifies a path position relative to the scheme.
+type Phase int
+
+const (
+	// PhaseBelow marks vertices outside the scheme (weight below w0 and
+	// objective below phi0 — the start region Lemma 8.1 does not cover).
+	PhaseBelow Phase = iota
+	// PhaseWeight is the first phase (V1): layers indexed by weight.
+	PhaseWeight
+	// PhaseObjective is the second phase (V2): layers indexed by objective.
+	PhaseObjective
+	// PhaseAbove marks vertices beyond the last objective layer (the end
+	// region: objective larger than the scheme's finest layer).
+	PhaseAbove
+)
+
+// Scheme is a concrete layer decomposition for one target.
+type Scheme struct {
+	// Gamma is gamma(eps) = (1-eps)/(beta-2); GammaZeta is gamma(zeta*eps).
+	Gamma     float64
+	GammaZeta float64
+	// W0 and Phi0 anchor the first weight layer and first objective layer.
+	W0, Phi0 float64
+	// WeightBounds are the ascending boundaries y_0 < y_1 < ...; weight
+	// layer j covers [y_j, y_{j+1}).
+	WeightBounds []float64
+	// ObjBounds are the descending boundaries psi_0 > psi_1 > ...;
+	// objective layer j covers (psi_{j+1}, psi_j].
+	ObjBounds []float64
+}
+
+// Config are the free parameters of a scheme.
+type Config struct {
+	// Beta and Alpha are the model parameters (Alpha may be +Inf).
+	Beta, Alpha float64
+	// Eps is the layer epsilon (the paper's eps1); must be in (0, 1).
+	Eps float64
+	// W0 is the first weight boundary (the w0 >= w1(eps) of Lemma 8.1).
+	W0 float64
+	// Phi0 is the first objective boundary (phi0 <= phi1(eps)).
+	Phi0 float64
+	// WMax caps weight layers; PhiMin caps objective layers (use the
+	// graph's max weight and wmin/n scales).
+	WMax, PhiMin float64
+}
+
+// NewScheme builds the layer boundaries of Sections 7.3/8.1.
+func NewScheme(c Config) (*Scheme, error) {
+	if !(c.Beta > 2) || c.Eps <= 0 || c.Eps >= 1 {
+		return nil, fmt.Errorf("layers: invalid beta %v or eps %v", c.Beta, c.Eps)
+	}
+	if c.W0 <= 1 || c.Phi0 <= 0 || c.Phi0 >= 1 {
+		return nil, fmt.Errorf("layers: need w0 > 1 and phi0 in (0,1), got %v, %v", c.W0, c.Phi0)
+	}
+	if c.WMax <= c.W0 || c.PhiMin >= c.Phi0 || c.PhiMin <= 0 {
+		return nil, fmt.Errorf("layers: bounds wmax %v, phimin %v inconsistent", c.WMax, c.PhiMin)
+	}
+	gamma := (1 - c.Eps) / (c.Beta - 2)
+	if gamma <= 1 {
+		return nil, fmt.Errorf("layers: gamma(eps) = %v <= 1; decrease eps or beta", gamma)
+	}
+	zeta := 1.5
+	if !math.IsInf(c.Alpha, 1) {
+		if z := (2*c.Alpha - 1) / (2*c.Alpha + 4 - 2*c.Beta); z > zeta {
+			zeta = z
+		}
+	}
+	gammaZeta := (1 - zeta*c.Eps) / (c.Beta - 2)
+	if gammaZeta <= 1 {
+		// Fall back to the plain gamma spacing: zeta*eps got too large for
+		// doubly-exponential growth; the scheme stays valid, just denser.
+		gammaZeta = gamma
+	}
+	s := &Scheme{Gamma: gamma, GammaZeta: gammaZeta, W0: c.W0, Phi0: c.Phi0}
+	for y := c.W0; y <= c.WMax; y = math.Pow(y, gammaZeta) {
+		s.WeightBounds = append(s.WeightBounds, y)
+		if len(s.WeightBounds) > 64 {
+			break // doubly exponential: cannot legitimately happen
+		}
+	}
+	for psi := c.Phi0; psi >= c.PhiMin; psi = math.Pow(psi, gamma) {
+		s.ObjBounds = append(s.ObjBounds, psi)
+		if len(s.ObjBounds) > 64 {
+			break
+		}
+	}
+	if len(s.WeightBounds) == 0 || len(s.ObjBounds) == 0 {
+		return nil, fmt.Errorf("layers: empty scheme")
+	}
+	return s, nil
+}
+
+// Layers returns the total number of layers (both phases).
+func (s *Scheme) Layers() int { return len(s.WeightBounds) + len(s.ObjBounds) }
+
+// Classify maps a vertex's (weight, objective) to its phase and its global
+// layer order index: weight layers come first (0, 1, ...), then objective
+// layers in decreasing-psi order, so a well-behaved greedy path has a
+// strictly increasing order index. Order is -1 for PhaseBelow and
+// Layers() for PhaseAbove.
+func (s *Scheme) Classify(w, phi float64) (Phase, int) {
+	inV2 := phi > math.Pow(w, -s.Gamma)
+	if !inV2 {
+		// First phase: locate the weight layer.
+		if w < s.W0 {
+			return PhaseBelow, -1
+		}
+		j := len(s.WeightBounds) - 1
+		for ; j > 0; j-- {
+			if w >= s.WeightBounds[j] {
+				break
+			}
+		}
+		return PhaseWeight, j
+	}
+	// Second phase. The bounds descend from psi_0 = Phi0; objectives above
+	// Phi0 belong to the end region Lemma 8.1 hands off to the final
+	// steps. Within the scheme, the layer of phi is the smallest bound
+	// psi_j with phi <= psi_j; smaller objectives sit in deeper layers
+	// that the path crosses first, so the order index grows with phi.
+	if phi > s.ObjBounds[0] {
+		return PhaseAbove, s.Layers()
+	}
+	for j := len(s.ObjBounds) - 1; j >= 0; j-- {
+		if phi <= s.ObjBounds[j] {
+			return PhaseObjective, len(s.WeightBounds) + (len(s.ObjBounds) - 1 - j)
+		}
+	}
+	return PhaseAbove, s.Layers() // unreachable: phi <= ObjBounds[0] matched above
+}
+
+// PathAnalysis summarizes how a greedy path traverses the layers.
+type PathAnalysis struct {
+	// Orders is the per-hop global layer order index (-1 below scheme,
+	// Layers() above it).
+	Orders []int
+	// Phases is the per-hop phase.
+	Phases []Phase
+	// Revisits counts hops that re-enter a layer left earlier.
+	Revisits int
+	// Monotone reports whether the in-scheme order indices never decrease.
+	Monotone bool
+	// VisitedFraction is the fraction of layers between the first and last
+	// in-scheme layer that the path touched (the paper: 1-o(1)).
+	VisitedFraction float64
+	// PhaseSwitches counts transitions between the weight and objective
+	// phases (the typical trajectory has exactly one).
+	PhaseSwitches int
+}
+
+// AnalyzePath classifies every hop of a routing trajectory against the
+// scheme. The final hop (the target, objective +Inf) is skipped.
+func (s *Scheme) AnalyzePath(hops []route.Hop) PathAnalysis {
+	a := PathAnalysis{Monotone: true}
+	seen := map[int]bool{}
+	prevOrder := -1
+	prevPhase := PhaseBelow
+	firstIn, lastIn := -1, -1
+	visitedIn := map[int]bool{}
+	for _, h := range hops {
+		if math.IsInf(h.Score, 1) {
+			break // the target
+		}
+		phase, order := s.Classify(h.W, h.Score)
+		a.Orders = append(a.Orders, order)
+		a.Phases = append(a.Phases, phase)
+		inScheme := phase == PhaseWeight || phase == PhaseObjective
+		if inScheme {
+			if seen[order] && order != prevOrder {
+				a.Revisits++
+			}
+			seen[order] = true
+			if prevOrder >= 0 && order < prevOrder {
+				a.Monotone = false
+			}
+			prevOrder = order
+			if firstIn < 0 {
+				firstIn = order
+			}
+			lastIn = order
+			visitedIn[order] = true
+		}
+		if (phase == PhaseWeight || phase == PhaseObjective) &&
+			(prevPhase == PhaseWeight || prevPhase == PhaseObjective) && phase != prevPhase {
+			a.PhaseSwitches++
+		}
+		if phase != PhaseBelow { // below-scheme hops do not define a phase yet
+			prevPhase = phase
+		}
+	}
+	if firstIn >= 0 && lastIn >= firstIn {
+		span := lastIn - firstIn + 1
+		a.VisitedFraction = float64(len(visitedIn)) / float64(span)
+	}
+	return a
+}

@@ -1,0 +1,244 @@
+package layers
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/girg"
+	"repro/internal/graph"
+	"repro/internal/route"
+	"repro/internal/xrand"
+)
+
+func defaultConfig() Config {
+	return Config{
+		Beta: 2.5, Alpha: 2, Eps: 0.05,
+		W0: 8, Phi0: 0.1,
+		WMax: 1e6, PhiMin: 1e-7,
+	}
+}
+
+func TestNewSchemeValidation(t *testing.T) {
+	if _, err := NewScheme(defaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(f func(*Config)) Config {
+		c := defaultConfig()
+		f(&c)
+		return c
+	}
+	bad := []Config{
+		mutate(func(c *Config) { c.Beta = 2 }),
+		mutate(func(c *Config) { c.Eps = 0 }),
+		mutate(func(c *Config) { c.Eps = 1 }),
+		mutate(func(c *Config) { c.W0 = 1 }),
+		mutate(func(c *Config) { c.Phi0 = 1.5 }),
+		mutate(func(c *Config) { c.WMax = 4 }),
+		mutate(func(c *Config) { c.PhiMin = 0.5 }),
+		mutate(func(c *Config) { c.Beta = 2.9; c.Eps = 0.95 }), // gamma <= 1
+	}
+	for i, c := range bad {
+		if _, err := NewScheme(c); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestSchemeBoundsDoublyExponential(t *testing.T) {
+	s, err := NewScheme(defaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.WeightBounds) < 2 || len(s.ObjBounds) < 2 {
+		t.Fatalf("scheme too small: %d weight, %d obj layers", len(s.WeightBounds), len(s.ObjBounds))
+	}
+	for j := 1; j < len(s.WeightBounds); j++ {
+		prev, cur := s.WeightBounds[j-1], s.WeightBounds[j]
+		if cur <= prev {
+			t.Fatalf("weight bounds not increasing at %d", j)
+		}
+		if math.Abs(math.Log(cur)/math.Log(prev)-s.GammaZeta) > 1e-9 {
+			t.Fatalf("weight ladder exponent broken at %d", j)
+		}
+	}
+	for j := 1; j < len(s.ObjBounds); j++ {
+		prev, cur := s.ObjBounds[j-1], s.ObjBounds[j]
+		if cur >= prev {
+			t.Fatalf("objective bounds not decreasing at %d", j)
+		}
+		if math.Abs(math.Log(cur)/math.Log(prev)-s.Gamma) > 1e-9 {
+			t.Fatalf("objective ladder exponent broken at %d", j)
+		}
+	}
+	if s.Layers() != len(s.WeightBounds)+len(s.ObjBounds) {
+		t.Fatal("Layers() inconsistent")
+	}
+}
+
+func TestClassifyRegions(t *testing.T) {
+	s, err := NewScheme(defaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Low-weight, low-objective vertex: below the scheme.
+	if ph, order := s.Classify(2, 1e-6); ph != PhaseBelow || order != -1 {
+		t.Fatalf("below: %v %d", ph, order)
+	}
+	// Weight inside first layer, tiny objective: phase 1, layer 0.
+	if ph, order := s.Classify(10, 1e-6); ph != PhaseWeight || order != 0 {
+		t.Fatalf("first weight layer: %v %d", ph, order)
+	}
+	// Heavier vertex: later weight layer.
+	_, o1 := s.Classify(10, 1e-6)
+	_, o2 := s.Classify(10000, 1e-7)
+	if o2 <= o1 {
+		t.Fatalf("heavier vertex not in later layer: %d vs %d", o2, o1)
+	}
+	// V2 vertex (objective above w^-gamma = 100^-1.9 ~ 1.6e-4): objective
+	// phase.
+	if ph, _ := s.Classify(100, 0.01); ph != PhaseObjective {
+		t.Fatalf("V2 vertex not in objective phase: %v", ph)
+	}
+	// Objective order increases with phi.
+	if ph, _ := s.Classify(100, 1e-3); ph != PhaseObjective {
+		t.Fatalf("1e-3 probe not in objective phase: %v", ph)
+	}
+	_, a := s.Classify(100, 1e-3)
+	_, b := s.Classify(100, 0.05)
+	if b <= a {
+		t.Fatalf("objective order not increasing with phi: %d vs %d", b, a)
+	}
+	// Beyond phi0: above the scheme.
+	if ph, order := s.Classify(100, 0.5); ph != PhaseAbove || order != s.Layers() {
+		t.Fatalf("above: %v %d", ph, order)
+	}
+}
+
+func TestClassifyOrderCoversBothPhases(t *testing.T) {
+	// Weight orders < objective orders, always.
+	s, err := NewScheme(defaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wOrder := s.Classify(1e5, 1e-10) // deep in V1 (phi below w^-gamma)
+	_, oOrder := s.Classify(100, 1e-3)  // objective phase
+	if wOrder >= oOrder {
+		t.Fatalf("weight order %d not before objective order %d", wOrder, oOrder)
+	}
+}
+
+func TestAnalyzePathSynthetic(t *testing.T) {
+	s, err := NewScheme(defaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A clean two-phase trajectory: weights climb, then objectives climb.
+	hops := []route.Hop{
+		{V: 0, W: 2, Score: 1e-6},        // below scheme
+		{V: 1, W: 10, Score: 2e-6},       // weight layer 0
+		{V: 2, W: 600, Score: 1e-7},      // later weight layer (still V1)
+		{V: 3, W: 50, Score: 1e-3},       // objective phase
+		{V: 4, W: 5, Score: 0.05},        // later objective layer
+		{V: 5, W: 1, Score: math.Inf(1)}, // target (skipped)
+	}
+	a := s.AnalyzePath(hops)
+	if len(a.Orders) != 5 {
+		t.Fatalf("orders %v", a.Orders)
+	}
+	if !a.Monotone {
+		t.Fatalf("clean path reported non-monotone: %v", a.Orders)
+	}
+	if a.Revisits != 0 {
+		t.Fatalf("revisits %d", a.Revisits)
+	}
+	if a.PhaseSwitches != 1 {
+		t.Fatalf("phase switches %d, want 1", a.PhaseSwitches)
+	}
+	if a.VisitedFraction <= 0 || a.VisitedFraction > 1 {
+		t.Fatalf("visited fraction %v", a.VisitedFraction)
+	}
+}
+
+func TestAnalyzePathDetectsBacktrack(t *testing.T) {
+	s, err := NewScheme(defaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hops := []route.Hop{
+		{W: 600, Score: 1e-7}, // high weight layer
+		{W: 10, Score: 2e-6},  // back to layer 0: non-monotone
+		{W: 600, Score: 1e-7}, // revisit
+	}
+	a := s.AnalyzePath(hops)
+	if a.Monotone {
+		t.Fatal("backtracking path reported monotone")
+	}
+	if a.Revisits == 0 {
+		t.Fatal("revisit not counted")
+	}
+}
+
+// TestRealGreedyPathsFollowLayers is the empirical Lemma 8.1: on real
+// GIRGs, greedy paths traverse the layer order monotonically, visit each
+// layer at most once, and switch phase at most once — in the overwhelming
+// majority of routings.
+func TestRealGreedyPathsFollowLayers(t *testing.T) {
+	p := girg.DefaultParams(20000)
+	p.Lambda = 0.02
+	p.FixedN = true
+	g, err := girg.Generate(p, 5, girg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxW := 0.0
+	for v := 0; v < g.N(); v++ {
+		maxW = math.Max(maxW, g.Weight(v))
+	}
+	s, err := NewScheme(Config{
+		Beta: p.Beta, Alpha: p.Alpha, Eps: 0.05,
+		W0: 8, Phi0: 0.1,
+		WMax: maxW + 1, PhiMin: p.WMin / p.N,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	giant := graph.GiantComponent(g)
+	rng := xrand.New(6)
+	const pairs = 300
+	var monotone, clean, oneSwitch, analyzed int
+	for i := 0; i < pairs; i++ {
+		src := giant[rng.IntN(len(giant))]
+		tgt := giant[rng.IntN(len(giant))]
+		if src == tgt {
+			continue
+		}
+		obj := route.NewStandard(g, tgt)
+		res := route.Greedy(g, obj, src)
+		if !res.Success || res.Moves < 3 {
+			continue
+		}
+		analyzed++
+		a := s.AnalyzePath(route.Trajectory(g, obj, res))
+		if a.Monotone {
+			monotone++
+		}
+		if a.Revisits == 0 {
+			clean++
+		}
+		if a.PhaseSwitches <= 1 {
+			oneSwitch++
+		}
+	}
+	if analyzed < 50 {
+		t.Fatalf("only %d paths analyzed", analyzed)
+	}
+	if frac := float64(monotone) / float64(analyzed); frac < 0.85 {
+		t.Fatalf("monotone fraction %v too low", frac)
+	}
+	if frac := float64(clean) / float64(analyzed); frac < 0.9 {
+		t.Fatalf("no-revisit fraction %v too low", frac)
+	}
+	if frac := float64(oneSwitch) / float64(analyzed); frac < 0.85 {
+		t.Fatalf("single-phase-switch fraction %v too low", frac)
+	}
+}

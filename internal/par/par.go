@@ -1,0 +1,49 @@
+// Package par provides the tiny deterministic parallelism helper the
+// experiment harness uses: fan a fixed index range out over a bounded
+// worker pool. Callers precompute any random choices sequentially and make
+// fn(i) a pure function of i, so parallel runs are bit-identical to
+// sequential ones.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach invokes fn(i) for every i in [0, n), using up to workers
+// goroutines (0 means GOMAXPROCS). It returns when all invocations have
+// finished. fn must be safe to call concurrently for distinct i.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

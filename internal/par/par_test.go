@@ -1,0 +1,56 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		const n = 1000
+		hits := make([]int32, n)
+		ForEach(n, workers, func(i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(int) { called = true })
+	ForEach(-3, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestForEachDeterministicResults(t *testing.T) {
+	// fn(i) writing to out[i] must give identical results regardless of
+	// worker count.
+	const n = 500
+	compute := func(workers int) []int {
+		out := make([]int, n)
+		ForEach(n, workers, func(i int) { out[i] = i * i })
+		return out
+	}
+	seq := compute(1)
+	parl := compute(8)
+	for i := range seq {
+		if seq[i] != parl[i] {
+			t.Fatalf("results differ at %d", i)
+		}
+	}
+}
+
+func TestForEachMoreWorkersThanWork(t *testing.T) {
+	count := int32(0)
+	ForEach(3, 64, func(int) { atomic.AddInt32(&count, 1) })
+	if count != 3 {
+		t.Fatalf("count = %d", count)
+	}
+}

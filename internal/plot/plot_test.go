@@ -1,0 +1,127 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSVGBasic(t *testing.T) {
+	p := Plot{
+		Title:  "demo",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Name: "a", X: []float64{0, 1, 2}, Y: []float64{1, 3, 2}},
+			{Name: "b", X: []float64{0, 1, 2}, Y: []float64{2, 2, 4}, Dashed: true},
+		},
+	}
+	out, err := p.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<svg", "</svg>", "polyline", "demo", ">a<", ">b<", "stroke-dasharray"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in SVG", want)
+		}
+	}
+}
+
+func TestSVGErrors(t *testing.T) {
+	if _, err := (&Plot{}).SVG(); err == nil {
+		t.Error("empty plot accepted")
+	}
+	bad := Plot{Series: []Series{{Name: "x", X: []float64{1, 2}, Y: []float64{1}}}}
+	if _, err := bad.SVG(); err == nil {
+		t.Error("mismatched series accepted")
+	}
+	negLog := Plot{LogY: true, Series: []Series{{Name: "x", X: []float64{1}, Y: []float64{-1}}}}
+	if _, err := negLog.SVG(); err == nil {
+		t.Error("all-negative log plot accepted")
+	}
+}
+
+func TestSVGLogY(t *testing.T) {
+	p := Plot{
+		LogY: true,
+		Series: []Series{
+			{Name: "decay", X: []float64{0, 1, 2, 3}, Y: []float64{1, 0.1, 0.01, 0.001}},
+		},
+	}
+	out, err := p.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "polyline") {
+		t.Error("no polyline in log plot")
+	}
+	// Non-positive points are skipped, not fatal.
+	p.Series[0].Y[1] = 0
+	if _, err := p.SVG(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSVGMarkersAndSinglePoint(t *testing.T) {
+	p := Plot{Series: []Series{
+		{Name: "pts", X: []float64{1, 2}, Y: []float64{3, 4}, Markers: true},
+		{Name: "single", X: []float64{1.5}, Y: []float64{3.5}},
+	}}
+	out, err := p.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "<circle") < 3 {
+		t.Errorf("expected circles for markers and the singleton point")
+	}
+}
+
+func TestTicksNice(t *testing.T) {
+	ticks := Ticks(0, 10, 6)
+	if len(ticks) < 3 || len(ticks) > 12 {
+		t.Fatalf("tick count %d: %v", len(ticks), ticks)
+	}
+	for i, tk := range ticks {
+		if tk < 0 || tk > 10+1e-9 {
+			t.Fatalf("tick %v out of range", tk)
+		}
+		if i > 0 && ticks[i] <= ticks[i-1] {
+			t.Fatalf("ticks not increasing: %v", ticks)
+		}
+	}
+	// Steps are 1/2/5 x 10^k.
+	step := ticks[1] - ticks[0]
+	mag := math.Pow(10, math.Floor(math.Log10(step)))
+	frac := step / mag
+	ok := math.Abs(frac-1) < 1e-9 || math.Abs(frac-2) < 1e-9 || math.Abs(frac-5) < 1e-9
+	if !ok {
+		t.Fatalf("step %v not nice", step)
+	}
+}
+
+func TestTicksDegenerate(t *testing.T) {
+	if got := Ticks(5, 5, 6); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("degenerate ticks %v", got)
+	}
+}
+
+func TestTicksSmallRange(t *testing.T) {
+	ticks := Ticks(0.98, 1.06, 5)
+	if len(ticks) < 2 {
+		t.Fatalf("ticks %v", ticks)
+	}
+}
+
+func TestEscape(t *testing.T) {
+	p := Plot{Title: `a<b>&"c"`, Series: []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}}}}
+	out, err := p.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "a<b>") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(out, "a&lt;b&gt;&amp;&quot;c&quot;") {
+		t.Error("escaped title missing")
+	}
+}

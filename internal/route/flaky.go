@@ -1,0 +1,60 @@
+package route
+
+import (
+	"repro/internal/xrand"
+)
+
+// FlakyGraph wraps a Graph so that every adjacency query independently
+// drops each incident edge with a fixed probability — the transient link
+// failures of the robustness discussion after Theorem 3.5 ("it is no
+// problem if some of the edges fail during execution of the routing, since
+// the current vertex can send the message to any other good neighbor
+// instead"). Failures are transient: the same edge may be present on the
+// next query. The wrapper is deterministic given its seed and the sequence
+// of queries.
+//
+// It is intended for the greedy protocol (experiment E12); the patching
+// protocols assume a stable topology for their parent pointers and visited
+// walks.
+type FlakyGraph struct {
+	inner    Graph
+	failProb float64
+	rng      *xrand.RNG
+	buf      []int32
+}
+
+// NewFlakyGraph wraps g with per-query edge failure probability p.
+func NewFlakyGraph(g Graph, p float64, seed uint64) *FlakyGraph {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return &FlakyGraph{inner: g, failProb: p, rng: xrand.New(seed)}
+}
+
+// N returns the number of vertices.
+func (f *FlakyGraph) N() int { return f.inner.N() }
+
+// Weight returns the vertex weight of the wrapped graph.
+func (f *FlakyGraph) Weight(v int) float64 { return f.inner.Weight(v) }
+
+// Neighbors returns the currently reachable neighbors of v: each underlying
+// edge is dropped independently with the failure probability. The returned
+// slice is reused across calls.
+func (f *FlakyGraph) Neighbors(v int) []int32 {
+	all := f.inner.Neighbors(v)
+	if f.failProb == 0 {
+		return all
+	}
+	f.buf = f.buf[:0]
+	for _, u := range all {
+		if !f.rng.Bernoulli(f.failProb) {
+			f.buf = append(f.buf, u)
+		}
+	}
+	return f.buf
+}
+
+var _ Graph = (*FlakyGraph)(nil)

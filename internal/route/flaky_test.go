@@ -1,0 +1,117 @@
+package route
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+func TestFlakyGraphZeroFailure(t *testing.T) {
+	g := newTestGraph(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	f := NewFlakyGraph(g, 0, 1)
+	if f.N() != 4 {
+		t.Fatalf("N = %d", f.N())
+	}
+	for v := 0; v < 4; v++ {
+		if len(f.Neighbors(v)) != len(g.Neighbors(v)) {
+			t.Fatalf("p=0 must not drop edges at vertex %d", v)
+		}
+	}
+}
+
+func TestFlakyGraphFullFailure(t *testing.T) {
+	g := newTestGraph(3, [][2]int{{0, 1}, {1, 2}})
+	f := NewFlakyGraph(g, 1, 1)
+	for v := 0; v < 3; v++ {
+		if len(f.Neighbors(v)) != 0 {
+			t.Fatalf("p=1 must drop all edges")
+		}
+	}
+}
+
+func TestFlakyGraphDropRate(t *testing.T) {
+	// Star with 1000 leaves: repeated queries drop ~p of the edges.
+	n := 1001
+	edges := make([][2]int, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, [2]int{0, v})
+	}
+	g := newTestGraph(n, edges)
+	const p = 0.3
+	f := NewFlakyGraph(g, p, 2)
+	total := 0
+	const queries = 200
+	for q := 0; q < queries; q++ {
+		total += len(f.Neighbors(0))
+	}
+	got := float64(total) / float64(queries*(n-1))
+	if got < 1-p-0.03 || got > 1-p+0.03 {
+		t.Fatalf("survival rate %v, want ~%v", got, 1-p)
+	}
+}
+
+func TestFlakyGraphTransient(t *testing.T) {
+	// An edge dropped once must be able to reappear.
+	g := newTestGraph(2, [][2]int{{0, 1}})
+	f := NewFlakyGraph(g, 0.5, 3)
+	seenPresent, seenAbsent := false, false
+	for q := 0; q < 200; q++ {
+		if len(f.Neighbors(0)) == 1 {
+			seenPresent = true
+		} else {
+			seenAbsent = true
+		}
+	}
+	if !seenPresent || !seenAbsent {
+		t.Fatalf("failures not transient: present=%v absent=%v", seenPresent, seenAbsent)
+	}
+}
+
+func TestFlakyGraphClampsProbability(t *testing.T) {
+	g := newTestGraph(2, [][2]int{{0, 1}})
+	if got := NewFlakyGraph(g, -1, 1).failProb; got != 0 {
+		t.Fatalf("negative p clamped to %v", got)
+	}
+	if got := NewFlakyGraph(g, 2, 1).failProb; got != 1 {
+		t.Fatalf("p>1 clamped to %v", got)
+	}
+}
+
+func TestGreedySurvivesModerateEdgeFailures(t *testing.T) {
+	// Robustness claim after Theorem 3.5: greedy routing keeps working
+	// when some links fail per hop, because any good-enough neighbor keeps
+	// the trajectory on track.
+	p := girgDefault(t, 3000, 20)
+	giant := graph.GiantComponent(p)
+	rng := xrand.New(21)
+	const pairs = 150
+	baseline, flaky := 0, 0
+	for i := 0; i < pairs; i++ {
+		s := giant[rng.IntN(len(giant))]
+		tgt := giant[rng.IntN(len(giant))]
+		if s == tgt {
+			continue
+		}
+		obj := NewStandard(p, tgt)
+		if Greedy(p, obj, s).Success {
+			baseline++
+		}
+		fg := NewFlakyGraph(p, 0.2, uint64(1000+i))
+		if Greedy(fg, obj, s).Success {
+			flaky++
+		}
+	}
+	if baseline == 0 {
+		t.Fatal("baseline greedy never succeeded")
+	}
+	ratio := float64(flaky) / float64(baseline)
+	if ratio < 0.6 {
+		t.Fatalf("20%% edge failures dropped success from %d to %d (ratio %v)", baseline, flaky, ratio)
+	}
+}
+
+func girgDefault(t testing.TB, n float64, seed uint64) *graph.Graph {
+	t.Helper()
+	return girgForRouting(t, n, seed)
+}

@@ -1,0 +1,104 @@
+package route
+
+// Result describes one routing episode.
+type Result struct {
+	// Success reports whether the message reached the target.
+	Success bool
+	// Path is the sequence of message positions, starting at the source;
+	// for pure greedy routing it is strictly objective-increasing, for
+	// patched protocols it includes backtracking moves.
+	Path []int
+	// Moves is the number of message transmissions, len(Path)-1.
+	Moves int
+	// Unique is the number of distinct vertices the message visited.
+	Unique int
+	// Stuck is the local-optimum vertex where pure greedy routing gave up,
+	// or -1 (always -1 on success and for patched protocols that exhaust
+	// the component instead).
+	Stuck int
+	// Truncated reports that the protocol hit its move cap before either
+	// succeeding or provably failing (only patched protocols can set it).
+	Truncated bool
+}
+
+func newResult(s int) *Result {
+	return &Result{Path: []int{s}, Stuck: -1}
+}
+
+func (r *Result) step(v int) {
+	r.Path = append(r.Path, v)
+	r.Moves++
+}
+
+func (r *Result) finish() Result {
+	seen := make(map[int]struct{}, len(r.Path))
+	for _, v := range r.Path {
+		seen[v] = struct{}{}
+	}
+	r.Unique = len(seen)
+	return *r
+}
+
+// GreedyRouter routes with the pure greedy protocol of Algorithm 1: from
+// the current vertex, move to the neighbor with the largest objective if it
+// improves on the current vertex, otherwise drop the packet.
+type GreedyRouter struct {
+	// G is the graph to route on.
+	G Graph
+}
+
+// Graph is the read-only view routing protocols need. *graph.Graph
+// satisfies it.
+type Graph interface {
+	N() int
+	Neighbors(v int) []int32
+	Weight(v int) float64
+}
+
+// Greedy runs Algorithm 1 from s toward obj.Target and returns the episode.
+func Greedy(g Graph, obj Objective, s int) Result {
+	res := newResult(s)
+	v := s
+	for v != obj.Target {
+		u := bestNeighborIface(g, obj, v)
+		if u < 0 || !better(obj.Score(u), obj.Score(v), u, v) {
+			res.Stuck = v
+			return res.finish()
+		}
+		res.step(u)
+		v = u
+	}
+	res.Success = true
+	return res.finish()
+}
+
+func bestNeighborIface(g Graph, obj Objective, v int) int {
+	best := -1
+	var bestScore float64
+	for _, u32 := range g.Neighbors(v) {
+		u := int(u32)
+		s := obj.Score(u)
+		if best == -1 || better(s, bestScore, u, best) {
+			best, bestScore = u, s
+		}
+	}
+	return best
+}
+
+// Hop is one point of a routing trajectory: the vertex, its model weight
+// and its objective value. Experiment F1 plots these per step.
+type Hop struct {
+	V     int
+	W     float64
+	Score float64
+}
+
+// Trajectory expands a result's path into per-hop (weight, objective)
+// records for trajectory analysis (Figure 1).
+func Trajectory(g Graph, obj Objective, res Result) []Hop {
+	hops := make([]Hop, len(res.Path))
+	for i, v := range res.Path {
+		hops[i] = Hop{V: v, W: g.Weight(v), Score: obj.Score(v)}
+	}
+	return hops
+}

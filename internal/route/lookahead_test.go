@@ -1,0 +1,125 @@
+package route
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/girg"
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+func TestLookaheadScoreDefinition(t *testing.T) {
+	// Path 0 - 1 - 2 - 3, target 3; phi table below.
+	g := newTestGraph(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	inner := scoreObjective([]float64{1, 2, 5, 0}, 3)
+	look := NewLookahead(g, inner)
+	// psi(0) = max(phi(0), phi(1)) = 2.
+	if got := look.Score(0); got != 2 {
+		t.Fatalf("psi(0) = %v", got)
+	}
+	// psi(1) = max(phi(1), phi(0), phi(2)) = 5.
+	if got := look.Score(1); got != 5 {
+		t.Fatalf("psi(1) = %v", got)
+	}
+	// psi(2) sees the target: huge but finite.
+	if got := look.Score(2); got != lookaheadTargetScore {
+		t.Fatalf("psi(2) = %v", got)
+	}
+	// The target itself stays +Inf.
+	if !math.IsInf(look.Score(3), 1) {
+		t.Fatal("target psi not +Inf")
+	}
+}
+
+func TestLookaheadGreedyTerminatesAndDelivers(t *testing.T) {
+	rng := xrand.New(41)
+	for trial := 0; trial < 200; trial++ {
+		g, inner, _ := randomConnectedCase(rng)
+		s := rng.IntN(g.N())
+		res := Greedy(g, NewLookahead(g, inner), s)
+		checkPathValid(t, g, res)
+		// psi strictly increases along the path, so no vertex repeats.
+		seen := map[int]bool{}
+		for _, v := range res.Path {
+			if seen[v] {
+				t.Fatalf("trial %d: lookahead greedy revisited %d", trial, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestLookaheadSeesThroughOneValley(t *testing.T) {
+	// 0 - 1 - 2 with phi(1) < phi(0) < phi(2): plain greedy dies at 0,
+	// lookahead routes through the valley vertex 1.
+	g := newTestGraph(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	inner := scoreObjective([]float64{3, 1, 6, 0}, 3)
+	if Greedy(g, inner, 0).Success {
+		t.Fatal("plain greedy should be stuck at 0")
+	}
+	res := Greedy(g, NewLookahead(g, inner), 0)
+	if !res.Success {
+		t.Fatalf("lookahead greedy failed: %+v", res)
+	}
+}
+
+func TestLookaheadBeatsGreedyOnGIRG(t *testing.T) {
+	g := girgSparse(t, 4000, 43)
+	giant := graph.GiantComponent(g)
+	rng := xrand.New(44)
+	const pairs = 200
+	plain, look := 0, 0
+	for i := 0; i < pairs; i++ {
+		s := giant[rng.IntN(len(giant))]
+		tgt := giant[rng.IntN(len(giant))]
+		if s == tgt {
+			continue
+		}
+		inner := NewStandard(g, tgt)
+		if Greedy(g, inner, s).Success {
+			plain++
+		}
+		if Greedy(g, NewLookahead(g, inner), s).Success {
+			look++
+		}
+	}
+	if look < plain {
+		t.Fatalf("lookahead (%d) worse than plain greedy (%d)", look, plain)
+	}
+	if plain == pairs {
+		t.Skip("graph too easy to differentiate")
+	}
+	if look == plain {
+		t.Logf("lookahead == plain greedy (%d of %d); acceptable but unusual", look, pairs)
+	}
+}
+
+func TestLookaheadFinalHopGoesToTarget(t *testing.T) {
+	g := girgSparse(t, 1500, 45)
+	giant := graph.GiantComponent(g)
+	rng := xrand.New(46)
+	for i := 0; i < 80; i++ {
+		s := giant[rng.IntN(len(giant))]
+		tgt := giant[rng.IntN(len(giant))]
+		if s == tgt {
+			continue
+		}
+		res := Greedy(g, NewLookahead(g, NewStandard(g, tgt)), s)
+		if res.Success && res.Path[len(res.Path)-1] != tgt {
+			t.Fatalf("successful path does not end at target: %v", res.Path)
+		}
+	}
+}
+
+func girgSparse(t testing.TB, n float64, seed uint64) *graph.Graph {
+	t.Helper()
+	p := girg.DefaultParams(n)
+	p.Lambda = 0.02 // sparse: plain greedy fails often enough to compare
+	p.FixedN = true
+	g, err := girg.Generate(p, seed, girg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

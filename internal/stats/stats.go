@@ -1,0 +1,163 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness needs: summary statistics, confidence intervals for proportions,
+// and least-squares fits used to check the paper's scaling laws (hop counts
+// against log log n, failure probability against wmin).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (NaN for fewer than two
+// values).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// StdErr returns the standard error of the mean.
+func StdErr(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	return StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// Quantile returns the q-quantile (q in [0, 1]) using linear interpolation
+// between order statistics; NaN for empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Median returns the 0.5-quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Proportion summarizes a Bernoulli sample: the point estimate and a Wilson
+// score interval at ~95% confidence.
+type Proportion struct {
+	P      float64 // point estimate successes/trials
+	Lo, Hi float64 // Wilson 95% interval
+	N      int     // trials
+}
+
+// NewProportion builds the Wilson interval for k successes in n trials.
+func NewProportion(k, n int) Proportion {
+	if n == 0 {
+		return Proportion{P: math.NaN(), Lo: math.NaN(), Hi: math.NaN()}
+	}
+	const z = 1.96
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := (p + z*z/(2*nf)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf))
+	return Proportion{P: p, Lo: math.Max(0, center-half), Hi: math.Min(1, center+half), N: n}
+}
+
+// LinearFit is a least-squares line y = Intercept + Slope*x with its
+// coefficient of determination.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// FitLine fits y against x by ordinary least squares. It requires at least
+// two points with distinct x; otherwise all fields are NaN.
+func FitLine(x, y []float64) LinearFit {
+	if len(x) != len(y) || len(x) < 2 {
+		return LinearFit{Slope: math.NaN(), Intercept: math.NaN(), R2: math.NaN()}
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{Slope: math.NaN(), Intercept: math.NaN(), R2: math.NaN()}
+	}
+	slope := sxy / sxx
+	fit := LinearFit{Slope: slope, Intercept: my - slope*mx}
+	if syy == 0 {
+		fit.R2 = 1
+	} else {
+		fit.R2 = sxy * sxy / (sxx * syy)
+	}
+	return fit
+}
+
+// FitExpDecay fits y = A * exp(-b x) by regressing log y on x, using only
+// strictly positive y values. Returns the decay rate b, the prefactor A,
+// and the R^2 of the log-linear fit. It is the tool for Theorem 3.2's
+// exponential failure decay. NaN if fewer than two usable points remain.
+func FitExpDecay(x, y []float64) (rate, prefactor, r2 float64) {
+	var xs, logs []float64
+	for i := range x {
+		if y[i] > 0 {
+			xs = append(xs, x[i])
+			logs = append(logs, math.Log(y[i]))
+		}
+	}
+	fit := FitLine(xs, logs)
+	return -fit.Slope, math.Exp(fit.Intercept), fit.R2
+}
+
+// LogLog2 returns log2(log2(x)) for x > 2, the hop-count scale of
+// Theorem 3.3 (any fixed log base only shifts constants; base 2 keeps the
+// numbers readable).
+func LogLog2(x float64) float64 {
+	return math.Log2(math.Log2(x))
+}
+
+// TheoryHopConstant returns 2/|log(beta-2)| (natural log), the leading
+// constant of Theorem 3.3 and of the average distance in the giant
+// component. Hop counts reported against log log n (natural) should have
+// slope approaching this constant.
+func TheoryHopConstant(beta float64) float64 {
+	return 2 / math.Abs(math.Log(beta-2))
+}

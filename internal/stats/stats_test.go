@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Mean(xs); got != 3 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := Variance(xs); got != 2.5 {
+		t.Fatalf("Variance = %v", got)
+	}
+	if got := StdDev(xs); math.Abs(got-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("StdDev = %v", got)
+	}
+	if got := StdErr(xs); math.Abs(got-math.Sqrt(0.5)) > 1e-12 {
+		t.Fatalf("StdErr = %v", got)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Variance([]float64{1})) ||
+		!math.IsNaN(Quantile(nil, 0.5)) || !math.IsNaN(StdErr([]float64{1})) {
+		t.Fatal("degenerate inputs must yield NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 4 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := Median(xs); got != 2.5 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := Quantile(xs, 1.0/3); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("q1/3 = %v", got)
+	}
+	// Input must not be mutated.
+	if xs[0] != 4 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestProportionWilson(t *testing.T) {
+	p := NewProportion(50, 100)
+	if p.P != 0.5 || p.N != 100 {
+		t.Fatalf("%+v", p)
+	}
+	if p.Lo >= p.P || p.Hi <= p.P {
+		t.Fatalf("interval does not bracket estimate: %+v", p)
+	}
+	// Known value: Wilson 95% for 50/100 is about (0.404, 0.596).
+	if math.Abs(p.Lo-0.404) > 0.005 || math.Abs(p.Hi-0.596) > 0.005 {
+		t.Fatalf("Wilson interval %+v", p)
+	}
+	// Extremes stay within [0, 1].
+	p0 := NewProportion(0, 20)
+	if p0.Lo != 0 || p0.Hi <= 0 {
+		t.Fatalf("%+v", p0)
+	}
+	p1 := NewProportion(20, 20)
+	if p1.Hi != 1 || p1.Lo >= 1 {
+		t.Fatalf("%+v", p1)
+	}
+	if !math.IsNaN(NewProportion(0, 0).P) {
+		t.Fatal("0 trials must be NaN")
+	}
+}
+
+func TestProportionCoverage(t *testing.T) {
+	// The Wilson interval should cover the true p in ~95% of repetitions.
+	rng := xrand.New(1)
+	const trueP = 0.3
+	const reps = 2000
+	covered := 0
+	for r := 0; r < reps; r++ {
+		k := rng.Binomial(200, trueP)
+		ci := NewProportion(k, 200)
+		if ci.Lo <= trueP && trueP <= ci.Hi {
+			covered++
+		}
+	}
+	rate := float64(covered) / reps
+	if rate < 0.92 || rate > 0.99 {
+		t.Fatalf("Wilson coverage %v", rate)
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7} // y = 1 + 2x
+	fit := FitLine(x, y)
+	if math.Abs(fit.Slope-2) > 1e-12 || math.Abs(fit.Intercept-1) > 1e-12 {
+		t.Fatalf("fit %+v", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+}
+
+func TestFitLineNoisy(t *testing.T) {
+	rng := xrand.New(2)
+	var x, y []float64
+	for i := 0; i < 500; i++ {
+		xi := rng.Float64() * 10
+		x = append(x, xi)
+		y = append(y, 2+0.5*xi+0.1*rng.Normal())
+	}
+	fit := FitLine(x, y)
+	if math.Abs(fit.Slope-0.5) > 0.02 || math.Abs(fit.Intercept-2) > 0.05 {
+		t.Fatalf("fit %+v", fit)
+	}
+	if fit.R2 < 0.9 {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+}
+
+func TestFitLineDegenerate(t *testing.T) {
+	if !math.IsNaN(FitLine([]float64{1}, []float64{2}).Slope) {
+		t.Fatal("single point must be NaN")
+	}
+	if !math.IsNaN(FitLine([]float64{1, 1}, []float64{1, 2}).Slope) {
+		t.Fatal("vertical data must be NaN")
+	}
+	fit := FitLine([]float64{1, 2}, []float64{3, 3})
+	if fit.Slope != 0 || fit.R2 != 1 {
+		t.Fatalf("horizontal fit %+v", fit)
+	}
+}
+
+func TestFitExpDecay(t *testing.T) {
+	// y = 3 e^{-0.7 x}.
+	var x, y []float64
+	for i := 0; i < 20; i++ {
+		xi := float64(i) / 2
+		x = append(x, xi)
+		y = append(y, 3*math.Exp(-0.7*xi))
+	}
+	rate, pre, r2 := FitExpDecay(x, y)
+	if math.Abs(rate-0.7) > 1e-9 || math.Abs(pre-3) > 1e-9 || r2 < 0.999 {
+		t.Fatalf("rate=%v pre=%v r2=%v", rate, pre, r2)
+	}
+	// Zero values must be skipped, not break the fit.
+	y[5] = 0
+	rate, _, _ = FitExpDecay(x, y)
+	if math.Abs(rate-0.7) > 1e-9 {
+		t.Fatalf("rate with zero entry = %v", rate)
+	}
+}
+
+func TestTheoryHopConstant(t *testing.T) {
+	// beta = 2.5: 2/|ln(0.5)| = 2/ln 2.
+	if got := TheoryHopConstant(2.5); math.Abs(got-2/math.Ln2) > 1e-12 {
+		t.Fatalf("constant = %v", got)
+	}
+	// Closer to 3 the constant blows up (distances grow), closer to 2 it
+	// shrinks... both sides of beta-2 = 1/e give finite values; check
+	// monotone blow-up toward beta = 3.
+	if TheoryHopConstant(2.9) < TheoryHopConstant(2.5) {
+		t.Fatal("constant should grow toward beta = 3")
+	}
+}
+
+func TestLogLog2(t *testing.T) {
+	if got := LogLog2(16); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("LogLog2(16) = %v", got)
+	}
+	if got := LogLog2(256); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("LogLog2(256) = %v", got)
+	}
+}

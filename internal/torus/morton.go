@@ -1,0 +1,193 @@
+package torus
+
+// Morton (Z-order) codes identify grid cells of the hierarchical torus
+// partition. At level l the torus splits into 2^(dim*l) congruent cubes of
+// side 2^-l. A point's Morton code at level l interleaves the top l bits of
+// each coordinate; crucially, the code of a cell at level l is a prefix of
+// the codes of all its descendants, so after sorting points by deep-level
+// Morton code, every cell at every level is one contiguous slice. This is
+// the lookup structure behind the expected-linear-time GIRG sampler.
+
+// CellCoord converts a coordinate in [0,1) to its integer cell index at the
+// given level.
+func CellCoord(x float64, level int) uint32 {
+	c := uint32(x * float64(uint32(1)<<uint(level)))
+	// Guard against x extremely close to 1 rounding up to 2^level.
+	if c >= 1<<uint(level) {
+		c = 1<<uint(level) - 1
+	}
+	return c
+}
+
+// Encode returns the Morton code of the cell containing pt at the given
+// level. The result uses the low dim*level bits.
+func (s Space) Encode(pt []float64, level int) uint64 {
+	var code uint64
+	for i := 0; i < s.dim; i++ {
+		code |= spread(uint64(CellCoord(pt[i], level)), s.dim, level) << uint(i)
+	}
+	return code
+}
+
+// EncodeCoords returns the Morton code for explicit integer cell coordinates
+// at the given level.
+func (s Space) EncodeCoords(coords []uint32, level int) uint64 {
+	var code uint64
+	for i := 0; i < s.dim; i++ {
+		code |= spread(uint64(coords[i]), s.dim, level) << uint(i)
+	}
+	return code
+}
+
+// DecodeCoords writes the integer cell coordinates of the Morton code at the
+// given level into out (length dim).
+func (s Space) DecodeCoords(code uint64, level int, out []uint32) {
+	for i := 0; i < s.dim; i++ {
+		out[i] = uint32(compact(code>>uint(i), s.dim, level))
+	}
+}
+
+// spread distributes the low `level` bits of v so that consecutive bits land
+// dim positions apart (bit k of v moves to bit k*dim of the result).
+func spread(v uint64, dim, level int) uint64 {
+	if dim == 1 {
+		return v & ((1 << uint(level)) - 1)
+	}
+	var out uint64
+	for k := 0; k < level; k++ {
+		out |= ((v >> uint(k)) & 1) << uint(k*dim)
+	}
+	return out
+}
+
+// compact is the inverse of spread.
+func compact(v uint64, dim, level int) uint64 {
+	if dim == 1 {
+		return v & ((1 << uint(level)) - 1)
+	}
+	var out uint64
+	for k := 0; k < level; k++ {
+		out |= ((v >> uint(k*dim)) & 1) << uint(k)
+	}
+	return out
+}
+
+// ParentCell returns the Morton code of the parent (level-1) of a cell code
+// at the given level.
+func (s Space) ParentCell(code uint64) uint64 {
+	return code >> uint(s.dim)
+}
+
+// CellsAtLevel returns the number of cells at the given level.
+func (s Space) CellsAtLevel(level int) uint64 {
+	return 1 << uint(s.dim*level)
+}
+
+// CellMinDist returns a lower bound on the torus distance between any point
+// of cell a and any point of cell b at the given level: the infinity-norm
+// distance between the cells' integer coordinate boxes, in units of cell
+// side length, converted back to torus units. Adjacent or identical cells
+// yield 0. Because the L2 norm dominates the max norm, the bound is valid
+// for both norms of the space (it is merely less tight for L2Norm).
+func (s Space) CellMinDist(a, b uint64, level int) float64 {
+	if level == 0 {
+		return 0
+	}
+	side := 1 << uint(level)
+	maxGap := uint32(0)
+	for i := 0; i < s.dim; i++ {
+		ca := uint32(compact(a>>uint(i), s.dim, level))
+		cb := uint32(compact(b>>uint(i), s.dim, level))
+		gap := s.cellGap(ca, cb, uint32(side))
+		if gap > maxGap {
+			maxGap = gap
+		}
+	}
+	return float64(maxGap) / float64(side)
+}
+
+// cellGap returns the number of full cells strictly between cell columns a
+// and b on an axis of the given size (0 when identical or adjacent);
+// cyclic on the torus, plain on the cube.
+func (s Space) cellGap(a, b, size uint32) uint32 {
+	var diff uint32
+	if a > b {
+		diff = a - b
+	} else {
+		diff = b - a
+	}
+	if s.geo == Torus {
+		if other := size - diff; other < diff {
+			diff = other
+		}
+	}
+	if diff <= 1 {
+		return 0
+	}
+	return diff - 1
+}
+
+// OffsetCoord shifts a cell column by off on an axis of the given side
+// length, honoring the geometry: the torus wraps, the cube reports
+// out-of-range offsets as invalid.
+func (s Space) OffsetCoord(c uint32, off int, side uint32) (uint32, bool) {
+	v := int(c) + off
+	if s.geo == Cube {
+		if v < 0 || v >= int(side) {
+			return 0, false
+		}
+		return uint32(v), true
+	}
+	m := int(side)
+	return uint32(((v % m) + m) % m), true
+}
+
+// NeighborCells appends to dst the Morton codes of all cells at the given
+// level whose integer coordinates differ from cell's by at most 1 per axis
+// (cyclically), including the cell itself, without duplicates. For level 0
+// it yields just the single cell.
+func (s Space) NeighborCells(cell uint64, level int, dst []uint64) []uint64 {
+	if level == 0 {
+		return append(dst, 0)
+	}
+	side := uint32(1) << uint(level)
+	var coords [MaxDim]uint32
+	s.DecodeCoords(cell, level, coords[:s.dim])
+	// Offsets per axis: {-1, 0, +1}, deduplicated (wrap collapses them for
+	// tiny sides; the cube drops out-of-range neighbors).
+	var offs [MaxDim][]uint32
+	for i := 0; i < s.dim; i++ {
+		var vals []uint32
+		for off := -1; off <= 1; off++ {
+			c, ok := s.OffsetCoord(coords[i], off, side)
+			if !ok {
+				continue
+			}
+			dup := false
+			for _, x := range vals {
+				if x == c {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				vals = append(vals, c)
+			}
+		}
+		offs[i] = vals
+	}
+	var cur [MaxDim]uint32
+	var rec func(axis int)
+	rec = func(axis int) {
+		if axis == s.dim {
+			dst = append(dst, s.EncodeCoords(cur[:s.dim], level))
+			return
+		}
+		for _, v := range offs[axis] {
+			cur[axis] = v
+			rec(axis + 1)
+		}
+	}
+	rec(0)
+	return dst
+}
