@@ -2,9 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build test race vet cover bench bench-full experiments examples clean
+.PHONY: all check build test race vet cover bench bench-full experiments examples clean
 
-all: build test
+all: check
+
+# The default verification gate: static checks plus the full test suite
+# under the race detector.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...

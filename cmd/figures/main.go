@@ -9,10 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"path/filepath"
 
 	"repro/internal/core"
@@ -25,13 +27,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := runCtx(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string) error { return runCtx(context.Background(), args) }
+
+func runCtx(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
 	var (
 		out   = fs.String("out", "figures", "output directory")
@@ -46,7 +52,7 @@ func run(args []string) error {
 	}
 	type job struct {
 		name string
-		make func(scale float64, seed uint64) (*plot.Plot, error)
+		make func(ctx context.Context, scale float64, seed uint64) (*plot.Plot, error)
 	}
 	for _, j := range []job{
 		{"fig_f1_trajectory.svg", figTrajectory},
@@ -54,7 +60,7 @@ func run(args []string) error {
 		{"fig_e2_failure.svg", figFailure},
 		{"fig_e12_failures.svg", figRobustness},
 	} {
-		p, err := j.make(*scale, *seed)
+		p, err := j.make(ctx, *scale, *seed)
 		if err != nil {
 			return fmt.Errorf("%s: %w", j.name, err)
 		}
@@ -81,7 +87,7 @@ func scaledN(base int, scale float64) int {
 
 // figTrajectory reproduces Figure 1: weight and objective per hop of one
 // successful greedy path between planted low-weight endpoints.
-func figTrajectory(scale float64, seed uint64) (*plot.Plot, error) {
+func figTrajectory(ctx context.Context, scale float64, seed uint64) (*plot.Plot, error) {
 	p := girg.DefaultParams(float64(scaledN(200000, scale)))
 	p.Lambda = 0.02
 	p.FixedN = true
@@ -131,7 +137,7 @@ func figTrajectory(scale float64, seed uint64) (*plot.Plot, error) {
 
 // figHops reproduces E4: mean greedy hops against ln ln n per beta, with
 // the theory slope as dashed reference lines.
-func figHops(scale float64, seed uint64) (*plot.Plot, error) {
+func figHops(ctx context.Context, scale float64, seed uint64) (*plot.Plot, error) {
 	baseNs := []int{1000, 3162, 10000, 31623, 100000}
 	betas := []float64{2.3, 2.5, 2.7}
 	pairs := int(300 * scale)
@@ -151,7 +157,7 @@ func figHops(scale float64, seed uint64) (*plot.Plot, error) {
 			if err != nil {
 				return nil, err
 			}
-			rep, err := core.RunMilgram(nw, core.MilgramConfig{Pairs: pairs, Seed: seed + 99})
+			rep, err := core.RunMilgramCtx(ctx, nw, core.MilgramConfig{Pairs: pairs, Seed: seed + 99})
 			if err != nil {
 				return nil, err
 			}
@@ -180,7 +186,7 @@ func figHops(scale float64, seed uint64) (*plot.Plot, error) {
 
 // figFailure reproduces E2: failure probability against wmin on a log
 // scale — a straight line means exponential decay.
-func figFailure(scale float64, seed uint64) (*plot.Plot, error) {
+func figFailure(ctx context.Context, scale float64, seed uint64) (*plot.Plot, error) {
 	n := scaledN(30000, scale)
 	pairs := int(1500 * scale)
 	if pairs < 150 {
@@ -197,7 +203,7 @@ func figFailure(scale float64, seed uint64) (*plot.Plot, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep, err := core.RunMilgram(nw, core.MilgramConfig{
+		rep, err := core.RunMilgramCtx(ctx, nw, core.MilgramConfig{
 			Pairs: pairs, Seed: seed + 77, WholeGraph: true,
 		})
 		if err != nil {
@@ -228,7 +234,7 @@ func figFailure(scale float64, seed uint64) (*plot.Plot, error) {
 
 // figRobustness reproduces E12: delivery rate against per-hop edge failure
 // probability.
-func figRobustness(scale float64, seed uint64) (*plot.Plot, error) {
+func figRobustness(ctx context.Context, scale float64, seed uint64) (*plot.Plot, error) {
 	n := scaledN(20000, scale)
 	pairs := int(400 * scale)
 	if pairs < 50 {

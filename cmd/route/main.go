@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/girg"
@@ -37,7 +38,7 @@ func run(args []string) error {
 		seed  = fs.Uint64("seed", 1, "random seed")
 		s     = fs.Int("s", -1, "source vertex (-1 = random giant vertex)")
 		t     = fs.Int("t", -1, "target vertex (-1 = random giant vertex)")
-		proto = fs.String("proto", "greedy", "protocol: greedy | greedy+lookahead | phi-dfs | history | gravity-pressure")
+		proto = fs.String("proto", "greedy", "protocol: "+strings.Join(route.RegisteredSorted(), " | "))
 		pairs = fs.Int("pairs", 1, "number of random pairs to route (when s/t unset)")
 		trace = fs.Bool("trace", false, "print the per-hop weight/objective trajectory")
 	)
@@ -64,15 +65,12 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	var protocol core.Protocol
-	for _, pr := range core.Protocols() {
-		if pr.String() == *proto {
-			protocol = pr
-		}
+	// Resolve through the registry: the error for an unknown name lists
+	// every registered protocol.
+	if _, err := core.Lookup(*proto); err != nil {
+		return err
 	}
-	if protocol == 0 {
-		return fmt.Errorf("unknown protocol %q", *proto)
-	}
+	protocol := core.Protocol(*proto)
 
 	giant := graph.GiantComponent(g)
 	if len(giant) < 2 {
@@ -104,7 +102,17 @@ func run(args []string) error {
 				return route.NewStandard(g, t)
 			},
 		}
-		res, err := nw.Route(protocol, src, dst)
+		// The trace is streamed by an observer attached to the episode: one
+		// per-move event per hop, carrying the vertex, its weight and its
+		// objective value (the Figure-1 trajectory).
+		var hops []route.MoveEvent
+		var obs []route.Observer
+		if *trace {
+			obs = append(obs, route.ObserverFunc(func(ev route.MoveEvent) {
+				hops = append(hops, ev)
+			}))
+		}
+		res, err := nw.Route(protocol, src, dst, obs...)
 		if err != nil {
 			return err
 		}
@@ -119,15 +127,12 @@ func run(args []string) error {
 		}
 		fmt.Printf("%s %d -> %d: %s moves=%d unique=%d bfs=%d stretch=%s\n",
 			protocol, src, dst, status, res.Moves, res.Unique, bfs, stretch)
-		if *trace {
-			obj := route.NewStandard(g, dst)
-			for i, h := range route.Trajectory(g, obj, res) {
-				score := fmt.Sprintf("%.4g", h.Score)
-				if math.IsInf(h.Score, 1) {
-					score = "inf"
-				}
-				fmt.Printf("  hop %3d: v=%-8d w=%-10.2f phi=%s\n", i, h.V, h.W, score)
+		for _, h := range hops {
+			score := fmt.Sprintf("%.4g", h.Score)
+			if math.IsInf(h.Score, 1) {
+				score = "inf"
 			}
+			fmt.Printf("  hop %3d: v=%-8d w=%-10.2f phi=%s\n", h.Step, h.V, h.W, score)
 		}
 	}
 	return nil

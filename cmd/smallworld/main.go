@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -20,13 +22,19 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// Ctrl-C cancels the running experiment via the engine's context
+	// support instead of waiting for the table to finish.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := runCtx(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "smallworld:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string) error { return runCtx(context.Background(), args) }
+
+func runCtx(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("smallworld", flag.ContinueOnError)
 	var (
 		list   = fs.Bool("list", false, "list experiments and exit")
@@ -48,7 +56,7 @@ func run(args []string) error {
 		}
 		return nil
 	}
-	cfg := expt.Config{Seed: *seed, Scale: *scale}
+	cfg := expt.Config{Seed: *seed, Scale: *scale, Ctx: ctx}
 	var selected []expt.Experiment
 	if strings.EqualFold(*id, "all") {
 		selected = expt.All()

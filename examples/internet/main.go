@@ -47,7 +47,8 @@ func main() {
 
 	// Add the paper's Algorithm 2 patching: local state only, delivery
 	// guaranteed within a component (Theorem 3.4 via Corollary 3.6).
-	for _, proto := range []core.Protocol{core.ProtoPhiDFS, core.ProtoGravityPressure} {
+	// Protocols are addressed by registry name.
+	for _, proto := range []core.Protocol{"phi-dfs", "gravity-pressure"} {
 		prep, err := core.RunMilgram(nw, core.MilgramConfig{
 			Pairs:          400,
 			Protocol:       proto,

@@ -52,7 +52,7 @@ func main() {
 	// of hops (Theorem 3.4).
 	patched, err := core.RunMilgram(nw, core.MilgramConfig{
 		Pairs:    500,
-		Protocol: core.ProtoHistory,
+		Protocol: "history", // protocols are addressed by registry name
 		Seed:     6,
 	})
 	if err != nil {

@@ -40,8 +40,9 @@ func main() {
 	}
 
 	// The paper's Algorithm 2 (greedy Phi-DFS patching) is guaranteed to
-	// deliver within a connected component.
-	res, err = nw.Route(core.ProtoPhiDFS, s, t)
+	// deliver within a connected component. Protocols live in a registry and
+	// are addressed by name; core.Protocols() lists what is available.
+	res, err = nw.Route("phi-dfs", s, t)
 	if err != nil {
 		log.Fatal(err)
 	}

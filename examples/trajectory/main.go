@@ -1,8 +1,10 @@
 // Trajectory: reproduce Figure 1 of the paper in ASCII. A greedy path from a
 // low-weight source to a far-away low-weight target first climbs the weight
 // hierarchy into the network core (first phase), then descends toward the
-// target while the objective explodes (second phase). The plot prints the
-// weight profile of one such path hop by hop.
+// target while the objective explodes (second phase). The per-hop data is
+// streamed by a route.Observer attached to the routing episode — the
+// engine's observability hook — and the plot prints the weight profile of
+// one such path hop by hop.
 package main
 
 import (
@@ -11,6 +13,7 @@ import (
 	"math"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/girg"
 	"repro/internal/route"
 )
@@ -29,7 +32,7 @@ func main() {
 		{Pos: []float64{0.6, 0.6}, W: params.WMin},
 	}
 	var (
-		hops []route.Hop
+		hops []route.MoveEvent
 		seed uint64
 	)
 	for seed = 1; seed < 40; seed++ {
@@ -37,10 +40,24 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		obj := route.NewStandard(g, 1)
-		res := route.Greedy(g, obj, 0)
-		if res.Success && len(res.Path) > len(hops) {
-			hops = route.Trajectory(g, obj, res)
+		nw := &core.Network{
+			Graph: g,
+			Label: "trajectory",
+			NewObjective: func(t int) route.Objective {
+				return route.NewStandard(g, t)
+			},
+		}
+		// The observer receives one MoveEvent per hop: the vertex, its
+		// model weight and its objective value — the Figure 1 data.
+		var events []route.MoveEvent
+		res, err := nw.Route(core.ProtoGreedy, 0, 1, route.ObserverFunc(func(ev route.MoveEvent) {
+			events = append(events, ev)
+		}))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Success && len(events) > len(hops) {
+			hops = events
 			if res.Moves >= 6 {
 				break
 			}
@@ -58,7 +75,7 @@ func main() {
 			maxLog = l
 		}
 	}
-	for i, h := range hops {
+	for _, h := range hops {
 		bar := ""
 		if maxLog > 0 {
 			bar = strings.Repeat("#", 1+int(40*math.Log10(h.W)/maxLog))
@@ -67,7 +84,7 @@ func main() {
 		if math.IsInf(h.Score, 1) {
 			phi = "         inf"
 		}
-		fmt.Printf("%3d  %-12.1f %s  %s\n", i, h.W, phi, bar)
+		fmt.Printf("%3d  %-12.1f %s  %s\n", h.Step, h.W, phi, bar)
 	}
 	fmt.Println("\nfirst phase: weight rises doubly-exponentially into the core;")
 	fmt.Println("second phase: weight falls while the objective keeps rising toward the target.")

@@ -1,13 +1,22 @@
 // Package core is the public face of the library: it wraps the network
-// models (GIRG, hyperbolic, Kleinberg) and routing protocols behind one
-// Network/Protocol API and provides the Milgram-style experiment runner
-// that all benchmarks and examples are built on — sample source/target
-// pairs, route a message with a chosen protocol, and report success rates,
-// hop counts and stretch.
+// models (GIRG, hyperbolic, Kleinberg) behind one Network API, dispatches
+// routing through a pluggable protocol registry, and provides the
+// instrumented Milgram-style experiment runner that all benchmarks and
+// examples are built on — sample source/target pairs, route a message with
+// a chosen protocol, and report success rates, hop counts and stretch.
+//
+// Protocols are route.Protocol values addressed by registered name; the
+// five built-ins self-register and new ones plug in via Register without
+// touching this package. Every episode feeds process-wide atomic counters
+// (exported via expvar as "smallworld.engine", snapshotted by Stats), an
+// optional route.Observer streams per-move trajectories, and RunMilgramCtx
+// threads context cancellation through the parallel batch runner.
 package core
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/girg"
 	"repro/internal/graph"
@@ -109,75 +118,55 @@ func (nw *Network) Giant() []int {
 	return nw.giant
 }
 
-// Protocol selects the routing protocol.
-type Protocol int
-
-const (
-	// ProtoGreedy is the pure greedy protocol of Algorithm 1.
-	ProtoGreedy Protocol = iota + 1
-	// ProtoPhiDFS is the paper's Algorithm 2 patching protocol.
-	ProtoPhiDFS
-	// ProtoHistory is the message-history patching protocol (Section 5,
-	// first example).
-	ProtoHistory
-	// ProtoGravityPressure is the gravity-pressure heuristic (violates P3).
-	ProtoGravityPressure
-	// ProtoLookahead is greedy routing on the one-hop lookahead objective
-	// ("know thy neighbor's neighbor", related work of Section 1.1).
-	ProtoLookahead
-)
-
-// String names the protocol for reports.
-func (p Protocol) String() string {
-	switch p {
-	case ProtoGreedy:
-		return "greedy"
-	case ProtoPhiDFS:
-		return "phi-dfs"
-	case ProtoHistory:
-		return "history"
-	case ProtoGravityPressure:
-		return "gravity-pressure"
-	case ProtoLookahead:
-		return "greedy+lookahead"
-	default:
-		return fmt.Sprintf("protocol(%d)", int(p))
+// Route runs one routing episode from s to t under the named protocol (the
+// zero value selects greedy). Observers, if any, receive the episode's
+// per-move events (step order, episode 0) after the episode finishes.
+func (nw *Network) Route(proto Protocol, s, t int, obs ...route.Observer) (route.Result, error) {
+	p, err := resolve(proto)
+	if err != nil {
+		return route.Result{}, err
 	}
-}
-
-// Protocols lists all implemented protocols in report order.
-func Protocols() []Protocol {
-	return []Protocol{ProtoGreedy, ProtoLookahead, ProtoPhiDFS, ProtoHistory, ProtoGravityPressure}
-}
-
-// Route runs one routing episode from s to t under the given protocol.
-func (nw *Network) Route(proto Protocol, s, t int) (route.Result, error) {
-	return nw.routeWith(proto, nw.NewObjective(t), s)
-}
-
-// routeWith dispatches a routing episode under an explicit objective.
-func (nw *Network) routeWith(proto Protocol, obj route.Objective, s int) (route.Result, error) {
-	switch proto {
-	case ProtoGreedy:
-		return route.Greedy(nw.Graph, obj, s), nil
-	case ProtoPhiDFS:
-		return route.PhiDFS{}.Route(nw.Graph, obj, s), nil
-	case ProtoHistory:
-		return route.HistoryPatch{}.Route(nw.Graph, obj, s), nil
-	case ProtoGravityPressure:
-		return route.GravityPressure{}.Route(nw.Graph, obj, s), nil
-	case ProtoLookahead:
-		return route.Greedy(nw.Graph, route.NewLookahead(nw.Graph, obj), s), nil
-	default:
-		return route.Result{}, fmt.Errorf("core: unknown protocol %d", int(proto))
+	if s < 0 || s >= nw.Graph.N() || t < 0 || t >= nw.Graph.N() {
+		return route.Result{}, fmt.Errorf("core: vertex pair (%d, %d) out of range (n = %d)", s, t, nw.Graph.N())
 	}
+	obj := nw.NewObjective(t)
+	res, err := runEpisode(nw.Graph, p, obj, s)
+	if err != nil {
+		return route.Result{}, err
+	}
+	for _, o := range obs {
+		if o != nil {
+			route.Observe(nw.Graph, obj, res, 0, o)
+		}
+	}
+	return res, nil
+}
+
+// runEpisode runs one protocol episode, feeding the engine counters and
+// converting a protocol panic (possible with externally registered
+// protocols) into an error instead of tearing down the whole batch.
+func runEpisode(g route.Graph, p route.Protocol, obj route.Objective, s int) (res route.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			recordPanic()
+			err = fmt.Errorf("core: protocol %q panicked routing from %d: %v", p.Name(), s, r)
+		}
+	}()
+	start := time.Now()
+	res = p.Route(g, obj, s)
+	recordEpisode(res, time.Since(start))
+	return res, nil
 }
 
 // MilgramConfig configures a batch routing experiment.
 type MilgramConfig struct {
 	// Pairs is the number of (s, t) routings to attempt.
 	Pairs int
-	// Protocol selects the routing protocol (default ProtoGreedy).
+	// Protocol selects the routing protocol by registered name. The zero
+	// value "" explicitly means the default protocol, greedy — so a
+	// zero-valued config routes greedily rather than erroring. Any other
+	// value must be a registered name; unknown names fail with an error
+	// listing the registered protocols.
 	Protocol Protocol
 	// Seed drives pair selection.
 	Seed uint64
@@ -191,6 +180,13 @@ type MilgramConfig struct {
 	// Objective optionally overrides the network's objective factory
 	// (e.g. relaxed objectives for E7).
 	Objective func(t int) route.Objective
+	// Observer, when non-nil, receives the per-move events of every
+	// episode after the batch has routed: events arrive grouped by episode
+	// in episode order, each episode in step order, so the stream is
+	// deterministic even though episodes route concurrently. Setting an
+	// Observer retains every episode's path until replay — use it for
+	// analysis runs, not for the largest benchmark batches.
+	Observer route.Observer
 }
 
 // MilgramReport aggregates a batch routing experiment.
@@ -217,12 +213,24 @@ type MilgramReport struct {
 // report is bit-identical to a sequential run. Custom Objective factories
 // must therefore be safe to call concurrently (the built-in ones are).
 func RunMilgram(nw *Network, cfg MilgramConfig) (MilgramReport, error) {
+	return RunMilgramCtx(context.Background(), nw, cfg)
+}
+
+// RunMilgramCtx is RunMilgram with cooperative cancellation: episodes are
+// fanned out in chunks and ctx is re-checked between chunks, so a cancelled
+// context (or an expired deadline) aborts the batch within a few episodes
+// and returns ctx.Err(). A ctx that is already done on entry returns before
+// routing any pair. A cancelled batch returns no partial report.
+func RunMilgramCtx(ctx context.Context, nw *Network, cfg MilgramConfig) (MilgramReport, error) {
+	if err := ctx.Err(); err != nil {
+		return MilgramReport{}, err
+	}
 	if cfg.Pairs <= 0 {
 		return MilgramReport{}, fmt.Errorf("core: non-positive pair count %d", cfg.Pairs)
 	}
-	proto := cfg.Protocol
-	if proto == 0 {
-		proto = ProtoGreedy
+	proto, err := resolve(cfg.Protocol)
+	if err != nil {
+		return MilgramReport{}, err
 	}
 	pool := nw.Giant()
 	if cfg.WholeGraph {
@@ -234,12 +242,7 @@ func RunMilgram(nw *Network, cfg MilgramConfig) (MilgramReport, error) {
 	if cfg.WholeGraph && nw.Graph.N() < 2 {
 		return MilgramReport{}, fmt.Errorf("core: graph too small")
 	}
-	// Validate the protocol up front so workers cannot fail.
-	switch proto {
-	case ProtoGreedy, ProtoPhiDFS, ProtoHistory, ProtoGravityPressure, ProtoLookahead:
-	default:
-		return MilgramReport{}, fmt.Errorf("core: unknown protocol %d", int(proto))
-	}
+	engine.batches.Add(1)
 
 	// Draw all pairs from one sequential stream.
 	rng := xrand.New(cfg.Seed)
@@ -258,29 +261,56 @@ func RunMilgram(nw *Network, cfg MilgramConfig) (MilgramReport, error) {
 		}
 	}
 
+	objective := nw.NewObjective
+	if cfg.Objective != nil {
+		objective = cfg.Objective
+	}
+
 	// Route every pair; episodes are deterministic and independent.
 	type episode struct {
 		success   bool
 		truncated bool
 		moves     int
 		stretch   float64 // 0 when not computed or failed
+		path      []int   // retained only for observer replay
+		err       error
 	}
 	episodes := make([]episode, len(pairs))
-	par.ForEach(len(pairs), 0, func(i int) {
+	if err := par.ForEachCtx(ctx, len(pairs), 0, func(i int) {
 		p := pairs[i]
-		obj := nw.NewObjective(p.t)
-		if cfg.Objective != nil {
-			obj = cfg.Objective(p.t)
+		res, err := runEpisode(nw.Graph, proto, objective(p.t), p.s)
+		if err != nil {
+			episodes[i] = episode{err: err}
+			return
 		}
-		res, _ := nw.routeWith(proto, obj, p.s) // protocol validated above
 		ep := episode{success: res.Success, truncated: res.Truncated, moves: res.Moves}
+		if cfg.Observer != nil {
+			ep.path = res.Path
+		}
 		if res.Success && cfg.ComputeStretch {
 			if d := graph.BFSDistance(nw.Graph, p.s, p.t); d > 0 {
 				ep.stretch = float64(res.Moves) / float64(d)
 			}
 		}
 		episodes[i] = ep
-	})
+	}); err != nil {
+		return MilgramReport{}, err
+	}
+	// Propagate the first episode error (in episode order, so the reported
+	// failure is deterministic regardless of worker scheduling).
+	for i := range episodes {
+		if err := episodes[i].err; err != nil {
+			return MilgramReport{}, err
+		}
+	}
+
+	// Replay per-move events to the observer, grouped by episode in episode
+	// order: a deterministic stream even though routing ran concurrently.
+	if cfg.Observer != nil {
+		for i, p := range pairs {
+			route.Observe(nw.Graph, objective(p.t), route.Result{Path: episodes[i].path}, i, cfg.Observer)
+		}
+	}
 
 	rep := MilgramReport{Attempts: len(pairs)}
 	successes := 0

@@ -89,14 +89,22 @@ func TestProtocolString(t *testing.T) {
 	}
 	for p, want := range names {
 		if p.String() != want {
-			t.Errorf("%d.String() = %q", int(p), p.String())
+			t.Errorf("%q.String() = %q", string(p), p.String())
 		}
 	}
-	if Protocol(99).String() == "" {
-		t.Error("unknown protocol must still print")
+	if Protocol("").String() != "greedy" {
+		t.Error("zero-value protocol must print as the greedy default")
 	}
-	if len(Protocols()) != 5 {
-		t.Error("Protocols() incomplete")
+	// The report order starts with the five built-ins; externally
+	// registered protocols (e.g. from other tests) follow.
+	ps := Protocols()
+	if len(ps) < 5 {
+		t.Fatalf("Protocols() = %v, missing built-ins", ps)
+	}
+	for i, want := range []Protocol{ProtoGreedy, ProtoLookahead, ProtoPhiDFS, ProtoHistory, ProtoGravityPressure} {
+		if ps[i] != want {
+			t.Errorf("Protocols()[%d] = %q, want %q", i, ps[i], want)
+		}
 	}
 }
 
@@ -113,8 +121,11 @@ func TestRouteDispatch(t *testing.T) {
 			t.Fatalf("%v: bad path start", proto)
 		}
 	}
-	if _, err := nw.Route(Protocol(99), s, tgt); err == nil {
+	if _, err := nw.Route(Protocol("no-such-protocol"), s, tgt); err == nil {
 		t.Fatal("unknown protocol accepted")
+	}
+	if _, err := nw.Route(ProtoGreedy, -1, s); err == nil {
+		t.Fatal("out-of-range source accepted")
 	}
 }
 
@@ -193,7 +204,7 @@ func TestRunMilgramErrors(t *testing.T) {
 	if _, err := RunMilgram(nw, MilgramConfig{Pairs: 0}); err == nil {
 		t.Fatal("zero pairs accepted")
 	}
-	if _, err := RunMilgram(nw, MilgramConfig{Pairs: 10, Protocol: Protocol(42)}); err == nil {
+	if _, err := RunMilgram(nw, MilgramConfig{Pairs: 10, Protocol: Protocol("bogus")}); err == nil {
 		t.Fatal("unknown protocol accepted")
 	}
 }

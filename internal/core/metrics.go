@@ -1,0 +1,115 @@
+package core
+
+import (
+	"expvar"
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/route"
+)
+
+// Process-wide engine counters. Every routing episode that passes through
+// the engine (Route, RunMilgram, RunMilgramCtx) is counted here with atomic
+// increments; the aggregate is exported through expvar under
+// "smallworld.engine" (visible on /debug/vars when the process serves HTTP)
+// and snapshotted by Stats for tests and CLIs.
+var engine engineVars
+
+// durBuckets is the number of log2 wall-time buckets: bucket b counts
+// episodes with wall time in [2^(b-1), 2^b) microseconds (bucket 0 is
+// < 1µs); the last bucket collects everything at or above 2^20 µs (~1 s).
+const durBuckets = 22
+
+type engineVars struct {
+	episodes    atomic.Int64
+	moves       atomic.Int64
+	truncations atomic.Int64
+	failures    atomic.Int64
+	panics      atomic.Int64
+	batches     atomic.Int64
+	durations   [durBuckets]atomic.Int64
+}
+
+func durBucket(d time.Duration) int {
+	us := uint64(d / time.Microsecond)
+	b := bits.Len64(us)
+	if b >= durBuckets {
+		b = durBuckets - 1
+	}
+	return b
+}
+
+// durBucketLabel names bucket b by its exclusive upper bound.
+func durBucketLabel(b int) string {
+	if b == durBuckets-1 {
+		return fmt.Sprintf(">=%v", time.Duration(1<<(durBuckets-2))*time.Microsecond)
+	}
+	return fmt.Sprintf("<%v", time.Duration(1<<b)*time.Microsecond)
+}
+
+// recordEpisode folds one finished episode into the engine counters.
+func recordEpisode(res route.Result, d time.Duration) {
+	engine.episodes.Add(1)
+	engine.moves.Add(int64(res.Moves))
+	if res.Truncated {
+		engine.truncations.Add(1)
+	}
+	if !res.Success {
+		engine.failures.Add(1)
+	}
+	engine.durations[durBucket(d)].Add(1)
+}
+
+// recordPanic counts an episode whose protocol panicked (the engine converts
+// the panic to an error; see runEpisode).
+func recordPanic() {
+	engine.episodes.Add(1)
+	engine.failures.Add(1)
+	engine.panics.Add(1)
+}
+
+// EngineStats is a snapshot of the process-wide engine counters.
+type EngineStats struct {
+	// Episodes is the number of routing episodes finished by the engine.
+	Episodes int64
+	// Moves is the total number of message transmissions across episodes.
+	Moves int64
+	// Truncations counts episodes that hit a protocol's move cap.
+	Truncations int64
+	// Failures counts episodes that did not reach the target (including
+	// panicked ones).
+	Failures int64
+	// Panics counts episodes whose protocol panicked (converted to errors).
+	Panics int64
+	// Batches is the number of RunMilgram/RunMilgramCtx invocations.
+	Batches int64
+	// EpisodeWallTime is a log2 histogram of per-episode wall time, keyed
+	// by human-readable bucket labels; empty buckets are omitted.
+	EpisodeWallTime map[string]int64
+}
+
+// Stats snapshots the engine counters. Counters are process-wide and only
+// ever grow; to meter one workload, diff two snapshots.
+func Stats() EngineStats {
+	s := EngineStats{
+		Episodes:        engine.episodes.Load(),
+		Moves:           engine.moves.Load(),
+		Truncations:     engine.truncations.Load(),
+		Failures:        engine.failures.Load(),
+		Panics:          engine.panics.Load(),
+		Batches:         engine.batches.Load(),
+		EpisodeWallTime: map[string]int64{},
+	}
+	for b := 0; b < durBuckets; b++ {
+		if c := engine.durations[b].Load(); c > 0 {
+			s.EpisodeWallTime[durBucketLabel(b)] = c
+		}
+	}
+	return s
+}
+
+func init() {
+	expvar.Publish("smallworld.engine", expvar.Func(func() interface{} { return Stats() }))
+}

@@ -51,7 +51,7 @@ func runE9(cfg Config) (Table, error) {
 		if err != nil {
 			return t, err
 		}
-		rep, err := core.RunMilgram(nw, core.MilgramConfig{Pairs: pairs, Seed: seed * 3})
+		rep, err := core.RunMilgramCtx(cfg.Context(), nw, core.MilgramConfig{Pairs: pairs, Seed: seed * 3})
 		if err != nil {
 			return t, err
 		}
@@ -76,7 +76,7 @@ func runE9(cfg Config) (Table, error) {
 		if err != nil {
 			return t, err
 		}
-		rep, err := core.RunMilgram(nw, core.MilgramConfig{Pairs: pairs, Seed: seed * 3})
+		rep, err := core.RunMilgramCtx(cfg.Context(), nw, core.MilgramConfig{Pairs: pairs, Seed: seed * 3})
 		if err != nil {
 			return t, err
 		}
@@ -95,7 +95,7 @@ func runE9(cfg Config) (Table, error) {
 	if err != nil {
 		return t, err
 	}
-	crep, err := core.RunMilgram(cont, core.MilgramConfig{Pairs: pairs, Seed: seed * 3})
+	crep, err := core.RunMilgramCtx(cfg.Context(), cont, core.MilgramConfig{Pairs: pairs, Seed: seed * 3})
 	if err != nil {
 		return t, err
 	}
@@ -114,7 +114,7 @@ func runE9(cfg Config) (Table, error) {
 		if err != nil {
 			return t, err
 		}
-		rep, err := core.RunMilgram(nw, core.MilgramConfig{Pairs: pairs, Seed: seed * 3})
+		rep, err := core.RunMilgramCtx(cfg.Context(), nw, core.MilgramConfig{Pairs: pairs, Seed: seed * 3})
 		if err != nil {
 			return t, err
 		}
@@ -156,11 +156,11 @@ func runE10(cfg Config) (Table, error) {
 		if err != nil {
 			return t, err
 		}
-		phiRep, err := core.RunMilgram(nw, core.MilgramConfig{Pairs: pairs, Seed: seed * 5})
+		phiRep, err := core.RunMilgramCtx(cfg.Context(), nw, core.MilgramConfig{Pairs: pairs, Seed: seed * 5})
 		if err != nil {
 			return t, err
 		}
-		geoRep, err := core.RunMilgram(nw, core.MilgramConfig{
+		geoRep, err := core.RunMilgramCtx(cfg.Context(), nw, core.MilgramConfig{
 			Pairs: pairs, Seed: seed * 5,
 			Objective: func(tgt int) route.Objective { return route.NewGeometric(nw.Graph, tgt) },
 		})

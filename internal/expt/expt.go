@@ -6,6 +6,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -19,6 +20,19 @@ type Config struct {
 	// numbers recorded in EXPERIMENTS.md); small values like 0.05 give
 	// smoke-test versions for tests and quick benchmarks.
 	Scale float64
+	// Ctx, when non-nil, cancels the run: experiments thread it through
+	// the batch routing engine (core.RunMilgramCtx), so Ctrl-C on
+	// cmd/smallworld aborts within a few episodes instead of finishing the
+	// table. A nil Ctx means context.Background().
+	Ctx context.Context
+}
+
+// Context returns the run's context, defaulting to context.Background().
+func (c Config) Context() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // scaled returns max(lo, round(base*Scale)).

@@ -112,14 +112,14 @@ func runE13(cfg Config) (Table, error) {
 		)
 	}
 	// Repetitions (one large sparse graph each) run in parallel, each
-	// seeded by its index.
+	// seeded by its index; the run's context cancels between chunks.
 	type repResult struct {
 		success [5]bool
 		moves   [5]int
 		err     error
 	}
 	results := make([]repResult, reps)
-	par.ForEach(reps, 0, func(r int) {
+	if err := par.ForEachCtx(cfg.Context(), reps, 0, func(r int) {
 		g, err := girg.Generate(p, cfg.Seed+1400+uint64(r), girg.Options{Planted: planted})
 		if err != nil {
 			results[r].err = err
@@ -130,7 +130,9 @@ func runE13(cfg Config) (Table, error) {
 			results[r].success[k] = res.Success
 			results[r].moves[k] = res.Moves
 		}
-	})
+	}); err != nil {
+		return t, err
+	}
 	succ := make([]int, len(weights))
 	hops := make([][]float64, len(weights))
 	for _, rr := range results {

@@ -47,7 +47,7 @@ func runE8(cfg Config) (Table, error) {
 			if err != nil {
 				return t, err
 			}
-			rep, err := core.RunMilgram(nw, core.MilgramConfig{
+			rep, err := core.RunMilgramCtx(cfg.Context(), nw, core.MilgramConfig{
 				Pairs: pairs, Seed: seed * 19, ComputeStretch: true,
 			})
 			if err != nil {
@@ -77,7 +77,7 @@ func runE8(cfg Config) (Table, error) {
 		if err != nil {
 			return t, err
 		}
-		rep, err := core.RunMilgram(nw, core.MilgramConfig{
+		rep, err := core.RunMilgramCtx(cfg.Context(), nw, core.MilgramConfig{
 			Pairs: pairs, Protocol: core.ProtoPhiDFS, Seed: seed * 23, ComputeStretch: true,
 		})
 		if err != nil {

@@ -54,7 +54,7 @@ func runE4(cfg Config) (Table, error) {
 			if err != nil {
 				return t, err
 			}
-			rep, err := core.RunMilgram(nw, core.MilgramConfig{Pairs: pairs, Seed: seed * 13})
+			rep, err := core.RunMilgramCtx(cfg.Context(), nw, core.MilgramConfig{Pairs: pairs, Seed: seed * 13})
 			if err != nil {
 				return t, err
 			}
@@ -93,7 +93,7 @@ func runE5(cfg Config) (Table, error) {
 		if err != nil {
 			return t, err
 		}
-		rep, err := core.RunMilgram(nw, core.MilgramConfig{
+		rep, err := core.RunMilgramCtx(cfg.Context(), nw, core.MilgramConfig{
 			Pairs: pairs, Seed: seed * 7, ComputeStretch: true,
 		})
 		if err != nil {

@@ -44,7 +44,7 @@ func runE6(cfg Config) (Table, error) {
 			return t, err
 		}
 		for _, proto := range core.Protocols() {
-			rep, err := core.RunMilgram(nw, core.MilgramConfig{
+			rep, err := core.RunMilgramCtx(cfg.Context(), nw, core.MilgramConfig{
 				Pairs: pairs, Protocol: proto, Seed: seed * 11, ComputeStretch: true,
 			})
 			if err != nil {
@@ -85,7 +85,7 @@ func runE7(cfg Config) (Table, error) {
 		objFactory := func(tgt int) route.Objective {
 			return route.NewRelaxed(route.NewStandard(nw.Graph, tgt), nw.Graph, eps, cfg.Seed+702)
 		}
-		rep, err := core.RunMilgram(nw, core.MilgramConfig{
+		rep, err := core.RunMilgramCtx(cfg.Context(), nw, core.MilgramConfig{
 			Pairs:          pairs,
 			Seed:           cfg.Seed + 701,
 			ComputeStretch: true,

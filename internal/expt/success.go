@@ -67,7 +67,7 @@ func runE1(cfg Config) (Table, error) {
 				if err != nil {
 					return t, err
 				}
-				rep, err := core.RunMilgram(nw, core.MilgramConfig{Pairs: pairs, Seed: seed * 31})
+				rep, err := core.RunMilgramCtx(cfg.Context(), nw, core.MilgramConfig{Pairs: pairs, Seed: seed * 31})
 				if err != nil {
 					return t, err
 				}
@@ -126,7 +126,7 @@ func runE2(cfg Config) (Table, error) {
 			// Pairs from the whole graph: the theorem makes no
 			// same-component assumption, and isolated targets are a
 			// legitimate failure mode that vanishes as wmin grows.
-			r, err := core.RunMilgram(nw, core.MilgramConfig{Pairs: pairs, Seed: seed * 17, WholeGraph: true})
+			r, err := core.RunMilgramCtx(cfg.Context(), nw, core.MilgramConfig{Pairs: pairs, Seed: seed * 17, WholeGraph: true})
 			if err != nil {
 				return t, err
 			}

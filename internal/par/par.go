@@ -6,6 +6,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -46,4 +47,62 @@ func ForEach(n, workers int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// ctxChunk is how many indices a worker claims per context check in
+// ForEachCtx: large enough that the ctx.Err atomic load is amortized away on
+// microsecond-scale fn bodies, small enough that cancellation takes effect
+// within a few dozen invocations per worker.
+const ctxChunk = 16
+
+// ForEachCtx is ForEach with cooperative cancellation: workers claim indices
+// in chunks of ctxChunk and re-check ctx between chunks. If ctx is cancelled
+// (or its deadline passes) before all indices are processed, workers stop
+// claiming new chunks and ForEachCtx returns ctx.Err(); indices already
+// claimed may still run, so on a non-nil return the caller must treat the
+// output as partial. A ctx that is already done on entry returns its error
+// before any invocation. A nil error means every fn(i) ran exactly once.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for base := 0; base < n; base += ctxChunk {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			for i := base; i < base+ctxChunk && i < n; i++ {
+				fn(i)
+			}
+		}
+		return ctx.Err()
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				base := int(atomic.AddInt64(&next, ctxChunk)) - ctxChunk
+				if base >= n {
+					return
+				}
+				for i := base; i < base+ctxChunk && i < n; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
 }

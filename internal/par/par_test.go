@@ -1,6 +1,8 @@
 package par
 
 import (
+	"context"
+	"errors"
 	"sync/atomic"
 	"testing"
 )
@@ -52,5 +54,91 @@ func TestForEachMoreWorkersThanWork(t *testing.T) {
 	ForEach(3, 64, func(int) { atomic.AddInt32(&count, 1) })
 	if count != 3 {
 		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestForEachCtxCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		const n = 1000
+		hits := make([]int32, n)
+		if err := ForEachCtx(context.Background(), n, workers, func(i int) {
+			atomic.AddInt32(&hits[i], 1)
+		}); err != nil {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachCtxAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		called := int32(0)
+		err := ForEachCtx(ctx, 100, workers, func(int) { atomic.AddInt32(&called, 1) })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if called != 0 {
+			t.Fatalf("workers=%d: fn called %d times on a dead context", workers, called)
+		}
+	}
+}
+
+func TestForEachCtxCancelMidRun(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		const n = 100000
+		called := int32(0)
+		err := ForEachCtx(ctx, n, workers, func(int) {
+			if atomic.AddInt32(&called, 1) == 50 {
+				cancel()
+			}
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// Workers stop claiming chunks after cancellation: far fewer than n
+		// invocations (each worker may at most finish its current chunk).
+		if c := atomic.LoadInt32(&called); int(c) >= n {
+			t.Fatalf("workers=%d: all %d indices ran despite cancellation", workers, c)
+		}
+	}
+}
+
+func TestForEachCtxEmpty(t *testing.T) {
+	called := false
+	if err := ForEachCtx(context.Background(), 0, 4, func(int) { called = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEachCtx(context.Background(), -3, 4, func(int) { called = true }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestForEachCtxDeterministicResults(t *testing.T) {
+	// Like ForEach: fn(i) writing to out[i] gives identical results
+	// regardless of worker count when the context never fires.
+	const n = 500
+	compute := func(workers int) []int {
+		out := make([]int, n)
+		if err := ForEachCtx(context.Background(), n, workers, func(i int) { out[i] = i * i }); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	seq := compute(1)
+	parl := compute(8)
+	for i := range seq {
+		if seq[i] != parl[i] {
+			t.Fatalf("results differ at %d", i)
+		}
 	}
 }

@@ -39,13 +39,20 @@ func (r *Result) finish() Result {
 	return *r
 }
 
-// GreedyRouter routes with the pure greedy protocol of Algorithm 1: from
-// the current vertex, move to the neighbor with the largest objective if it
-// improves on the current vertex, otherwise drop the packet.
-type GreedyRouter struct {
-	// G is the graph to route on.
-	G Graph
+// GreedyRouter is the pure greedy protocol of Algorithm 1 as a registered
+// Protocol: from the current vertex, move to the neighbor with the largest
+// objective if it improves on the current vertex, otherwise drop the packet.
+type GreedyRouter struct{}
+
+// Name returns "greedy".
+func (GreedyRouter) Name() string { return "greedy" }
+
+// Route runs Algorithm 1 from s toward obj.Target.
+func (GreedyRouter) Route(g Graph, obj Objective, s int) Result {
+	return Greedy(g, obj, s)
 }
+
+func init() { Register(GreedyRouter{}) }
 
 // Graph is the read-only view routing protocols need. *graph.Graph
 // satisfies it.

@@ -23,6 +23,11 @@ type HistoryPatch struct {
 	MaxMoves int
 }
 
+// Name returns "history".
+func (HistoryPatch) Name() string { return "history" }
+
+func init() { Register(HistoryPatch{}) }
+
 // frontierEdge is a candidate unexplored edge (from a visited vertex to an
 // unvisited neighbor), ordered by the neighbor's objective.
 type frontierEdge struct {
@@ -168,6 +173,11 @@ type GravityPressure struct {
 	// MaxMoves caps message transmissions; 0 means 64*n + 256.
 	MaxMoves int
 }
+
+// Name returns "gravity-pressure".
+func (GravityPressure) Name() string { return "gravity-pressure" }
+
+func init() { Register(GravityPressure{}) }
 
 // Route runs gravity-pressure from s toward obj.Target.
 func (a GravityPressure) Route(g Graph, obj Objective, s int) Result {

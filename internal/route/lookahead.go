@@ -10,6 +10,21 @@ import (
 // so the final hop still goes to it.
 const lookaheadTargetScore = math.MaxFloat64 / 4
 
+// LookaheadGreedy is greedy routing on the one-hop lookahead objective as a
+// registered Protocol: Algorithm 1 run on NewLookahead(g, obj) instead of
+// obj itself ("know thy neighbor's neighbor", Section 1.1 related work).
+type LookaheadGreedy struct{}
+
+// Name returns "greedy+lookahead".
+func (LookaheadGreedy) Name() string { return "greedy+lookahead" }
+
+// Route runs greedy routing under the lookahead-wrapped objective.
+func (LookaheadGreedy) Route(g Graph, obj Objective, s int) Result {
+	return Greedy(g, NewLookahead(g, obj), s)
+}
+
+func init() { Register(LookaheadGreedy{}) }
+
 // NewLookahead wraps an objective with one-hop lookahead — the "know thy
 // neighbor's neighbor" enhancement of Manku, Naor and Wieder discussed in
 // the paper's related work (Section 1.1): a vertex is as good as the best

@@ -25,6 +25,11 @@ type PhiDFS struct {
 	MaxMoves int
 }
 
+// Name returns "phi-dfs".
+func (PhiDFS) Name() string { return "phi-dfs" }
+
+func init() { Register(PhiDFS{}) }
+
 type phiDFSKind uint8
 
 const (
