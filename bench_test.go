@@ -70,6 +70,7 @@ func BenchmarkE12EdgeFailures(b *testing.B)           { runExperiment(b, "E12") 
 func BenchmarkE13RefinedBound(b *testing.B)           { runExperiment(b, "E13") }
 func BenchmarkE14GeometryNecessity(b *testing.B)      { runExperiment(b, "E14") }
 func BenchmarkE15LayerStructure(b *testing.B)         { runExperiment(b, "E15") }
+func BenchmarkE16ChaosSweep(b *testing.B)             { runExperiment(b, "E16") }
 func BenchmarkF1Trajectory(b *testing.B)              { runExperiment(b, "F1") }
 
 // End-to-end pipeline benchmarks: how fast the library generates and routes.
@@ -123,7 +124,8 @@ func TestBenchmarkExperimentIDs(t *testing.T) {
 	covered := map[string]bool{
 		"E1": true, "E2": true, "E3": true, "E4": true, "E5": true,
 		"E6": true, "E7": true, "E8": true, "E9": true, "E10": true,
-		"E11": true, "E12": true, "E13": true, "E14": true, "E15": true, "F1": true,
+		"E11": true, "E12": true, "E13": true, "E14": true, "E15": true,
+		"E16": true, "F1": true,
 	}
 	for _, e := range expt.All() {
 		if !covered[e.ID] {

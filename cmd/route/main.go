@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/girg"
 	"repro/internal/graph"
 	"repro/internal/graphio"
@@ -41,6 +42,11 @@ func run(args []string) error {
 		proto = fs.String("proto", "greedy", "protocol: "+strings.Join(route.RegisteredSorted(), " | "))
 		pairs = fs.Int("pairs", 1, "number of random pairs to route (when s/t unset)")
 		trace = fs.Bool("trace", false, "print the per-hop weight/objective trajectory")
+		// Usage text derives from the fault-model registry, exactly as -proto
+		// derives from the protocol registry.
+		faultModel   = fs.String("fault-model", "", "fault model to inject (default none): "+strings.Join(faults.RegisteredSorted(), " | "))
+		faultRate    = fs.Float64("fault-rate", 0.1, "fault severity in [0, 1] (drop probability, crash fraction, loss probability, or noise amplitude)")
+		faultRetries = fs.Int("fault-retries", 0, "msg-loss retry budget per forward (0 = model default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,10 +73,24 @@ func run(args []string) error {
 	}
 	// Resolve through the registry: the error for an unknown name lists
 	// every registered protocol.
-	if _, err := core.Lookup(*proto); err != nil {
+	p, err := core.Lookup(*proto)
+	if err != nil {
 		return err
 	}
 	protocol := core.Protocol(*proto)
+
+	// -fault-model resolves through the fault registry the same way: an
+	// unknown name errors with the valid list before any routing happens.
+	var bound *faults.BoundPlan
+	if *faultModel != "" {
+		plan, err := faults.NewPlan(*seed+2, faults.Spec{
+			Model: *faultModel, Rate: *faultRate, Retries: *faultRetries,
+		})
+		if err != nil {
+			return err
+		}
+		bound = plan.Bind(g)
+	}
 
 	giant := graph.GiantComponent(g)
 	if len(giant) < 2 {
@@ -80,6 +100,13 @@ func run(args []string) error {
 	episodes := *pairs
 	if *s >= 0 && *t >= 0 {
 		episodes = 1
+	}
+	nw := &core.Network{
+		Graph: g,
+		Label: "route",
+		NewObjective: func(t int) route.Objective {
+			return route.NewStandard(g, t)
+		},
 	}
 	for i := 0; i < episodes; i++ {
 		src, dst := *s, *t
@@ -95,30 +122,44 @@ func run(args []string) error {
 		if src >= g.N() || dst >= g.N() {
 			return fmt.Errorf("vertex out of range (n = %d)", g.N())
 		}
-		nw := &core.Network{
-			Graph: g,
-			Label: "route",
-			NewObjective: func(t int) route.Objective {
-				return route.NewStandard(g, t)
-			},
-		}
 		// The trace is streamed by an observer attached to the episode: one
 		// per-move event per hop, carrying the vertex, its weight and its
 		// objective value (the Figure-1 trajectory).
 		var hops []route.MoveEvent
-		var obs []route.Observer
-		if *trace {
-			obs = append(obs, route.ObserverFunc(func(ev route.MoveEvent) {
-				hops = append(hops, ev)
-			}))
-		}
-		res, err := nw.Route(protocol, src, dst, obs...)
-		if err != nil {
-			return err
+		traceObs := route.ObserverFunc(func(ev route.MoveEvent) {
+			hops = append(hops, ev)
+		})
+		var res route.Result
+		if bound != nil {
+			// Faulty episodes route on this episode's view of the graph and
+			// objective; crashed endpoints are classified without routing.
+			if bound.Crashed(src) || bound.Crashed(dst) {
+				fmt.Printf("%s %d -> %d: FAILED(%s) moves=0 unique=1 bfs=- stretch=-\n",
+					protocol, src, dst, route.FailCrashedTarget)
+				continue
+			}
+			eg, eobj := bound.View(g, route.NewStandard(g, dst), i)
+			res = p.Route(eg, eobj, src)
+			if *trace {
+				// Replay over the fault-free graph: the path is what the
+				// faulty view routed, the scores are the true objective.
+				route.Observe(g, route.NewStandard(g, dst), res, i, traceObs)
+			}
+		} else {
+			var obs []route.Observer
+			if *trace {
+				obs = append(obs, traceObs)
+			}
+			res, err = nw.Route(protocol, src, dst, obs...)
+			if err != nil {
+				return err
+			}
 		}
 		status := "FAILED"
 		if res.Success {
 			status = "ok"
+		} else if res.Failure != route.FailNone {
+			status = fmt.Sprintf("FAILED(%s)", res.Failure)
 		}
 		bfs := graph.BFSDistance(g, src, dst)
 		stretch := "-"

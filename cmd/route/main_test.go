@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/girg"
@@ -71,10 +72,37 @@ func TestRunErrors(t *testing.T) {
 		{"-in", "/nonexistent/file"},
 		{"-in", path, "-proto", "bogus"},
 		{"-in", path, "-s", "0", "-t", "999999"},
+		{"-in", path, "-fault-model", "edge-drop", "-fault-rate", "1.5"},
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {
 			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunWithFaultModels(t *testing.T) {
+	path := writeTestGraph(t)
+	for _, model := range []string{"edge-drop", "crash-uniform", "crash-core", "msg-loss", "objective-noise"} {
+		if err := run([]string{"-in", path, "-pairs", "3", "-fault-model", model, "-fault-rate", "0.3"}); err != nil {
+			t.Errorf("fault model %s: %v", model, err)
+		}
+	}
+	// Faults compose with any registered protocol and with tracing.
+	if err := run([]string{"-in", path, "-pairs", "2", "-proto", "phi-dfs", "-fault-model", "edge-drop", "-trace"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownFaultModelListsRegistered(t *testing.T) {
+	path := writeTestGraph(t)
+	err := run([]string{"-in", path, "-fault-model", "bogus"})
+	if err == nil {
+		t.Fatal("unknown fault model accepted")
+	}
+	for _, name := range []string{"edge-drop", "crash-uniform", "crash-core", "msg-loss", "objective-noise"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list registered model %q", err, name)
 		}
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/expt"
+	"repro/internal/faults"
 )
 
 func main() {
@@ -38,13 +39,22 @@ func runCtx(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("smallworld", flag.ContinueOnError)
 	var (
 		list   = fs.Bool("list", false, "list experiments and exit")
-		id     = fs.String("e", "", "experiment id (E1..E11, F1) or 'all'")
+		id     = fs.String("e", "", "experiment id (E1..E16, F1) or 'all'")
 		scale  = fs.Float64("scale", 1, "workload scale (1 = full tables of EXPERIMENTS.md)")
 		seed   = fs.Uint64("seed", 1, "random seed")
 		format = fs.String("format", "text", "output format: text | csv | json")
+		// Usage text derives from the fault-model registry, like -proto on
+		// cmd/route derives from the protocol registry.
+		models = fs.String("fault-models", "", "comma-separated fault models for the E16 chaos sweep (default: its built-in set); registered: "+strings.Join(faults.RegisteredSorted(), " | "))
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var faultModels []string
+	if *models != "" {
+		for _, m := range strings.Split(*models, ",") {
+			faultModels = append(faultModels, strings.TrimSpace(m))
+		}
 	}
 	if *list || *id == "" {
 		fmt.Println("experiments:")
@@ -56,7 +66,7 @@ func runCtx(ctx context.Context, args []string) error {
 		}
 		return nil
 	}
-	cfg := expt.Config{Seed: *seed, Scale: *scale, Ctx: ctx}
+	cfg := expt.Config{Seed: *seed, Scale: *scale, Ctx: ctx, FaultModels: faultModels}
 	var selected []expt.Experiment
 	if strings.EqualFold(*id, "all") {
 		selected = expt.All()

@@ -43,6 +43,18 @@ func TestRunFormats(t *testing.T) {
 	}
 }
 
+func TestRunFaultModelsFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the chaos sweep")
+	}
+	if err := run([]string{"-e", "E16", "-scale", "0.02", "-fault-models", "edge-drop, crash-uniform"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-e", "E16", "-scale", "0.02", "-fault-models", "bogus"}); err == nil {
+		t.Fatal("unknown fault model accepted")
+	}
+}
+
 func TestRunCaseInsensitive(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a real experiment")

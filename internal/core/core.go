@@ -11,13 +11,24 @@
 // (exported via expvar as "smallworld.engine", snapshotted by Stats), an
 // optional route.Observer streams per-move trajectories, and RunMilgramCtx
 // threads context cancellation through the parallel batch runner.
+//
+// The engine is resilient by construction: per-episode hop and wall-time
+// budgets (MilgramConfig.MaxHops, EpisodeTimeout) turn hangs into counted
+// route.FailDeadline failures, a faults.Plan layers injectable fault models
+// over every episode, episodes whose endpoint a fault plan crashed are
+// classified route.FailCrashedTarget without running the protocol, a
+// cancelled batch returns the partial report of its completed episodes
+// (MilgramReport.Partial), and a panicking protocol or fault model fails
+// only its batch with an error naming the episode.
 package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/girg"
 	"repro/internal/graph"
 	"repro/internal/hrg"
@@ -130,7 +141,7 @@ func (nw *Network) Route(proto Protocol, s, t int, obs ...route.Observer) (route
 		return route.Result{}, fmt.Errorf("core: vertex pair (%d, %d) out of range (n = %d)", s, t, nw.Graph.N())
 	}
 	obj := nw.NewObjective(t)
-	res, err := runEpisode(nw.Graph, p, obj, s)
+	res, err := runEpisode(nw.Graph, p, obj, s, 0, 0)
 	if err != nil {
 		return route.Result{}, err
 	}
@@ -142,17 +153,68 @@ func (nw *Network) Route(proto Protocol, s, t int, obs ...route.Observer) (route
 	return res, nil
 }
 
-// runEpisode runs one protocol episode, feeding the engine counters and
-// converting a protocol panic (possible with externally registered
-// protocols) into an error instead of tearing down the whole batch.
-func runEpisode(g route.Graph, p route.Protocol, obj route.Objective, s int) (res route.Result, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			recordPanic()
-			err = fmt.Errorf("core: protocol %q panicked routing from %d: %v", p.Name(), s, r)
-		}
-	}()
+// budgetStop is the sentinel the budget guard panics with to unwind opaque
+// protocol code once an episode exhausts its hop or wall-time budget;
+// runEpisode recovers it and classifies the episode route.FailDeadline.
+type budgetStop struct{}
+
+// budgetGraph enforces per-episode budgets at the one point every protocol
+// must pass through: adjacency queries. The hop budget counts queries — a
+// deterministic proxy for hops, since greedy-style protocols query each
+// visited vertex once — so budget cuts land on the same query at any worker
+// count. The wall-time budget is checked on the same path; it is inherently
+// nondeterministic and meant as a hang backstop, not a reproducible cutoff.
+type budgetGraph struct {
+	inner      route.Graph
+	maxQueries int       // 0 = unlimited
+	deadline   time.Time // zero = no wall-time budget
+	queries    int
+}
+
+func (b *budgetGraph) N() int               { return b.inner.N() }
+func (b *budgetGraph) Weight(v int) float64 { return b.inner.Weight(v) }
+
+func (b *budgetGraph) Neighbors(v int) []int32 {
+	b.queries++
+	if b.maxQueries > 0 && b.queries > b.maxQueries {
+		panic(budgetStop{})
+	}
+	if !b.deadline.IsZero() && time.Now().After(b.deadline) {
+		panic(budgetStop{})
+	}
+	return b.inner.Neighbors(v)
+}
+
+// runEpisode runs one protocol episode, feeding the engine counters,
+// enforcing the optional hop and wall-time budgets, and converting a
+// protocol panic (possible with externally registered protocols) into an
+// error instead of tearing down the whole batch. A budget cut is not an
+// error: it returns a failed Result classified route.FailDeadline whose
+// path is just the source (the protocol's internal state is opaque, so the
+// partial trajectory is not recoverable).
+func runEpisode(g route.Graph, p route.Protocol, obj route.Objective, s int, maxHops int, timeout time.Duration) (res route.Result, err error) {
 	start := time.Now()
+	if maxHops > 0 || timeout > 0 {
+		bg := &budgetGraph{inner: g, maxQueries: maxHops}
+		if timeout > 0 {
+			bg.deadline = start.Add(timeout)
+		}
+		g = bg
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if _, ok := r.(budgetStop); ok {
+			res = route.Result{Path: []int{s}, Unique: 1, Stuck: -1, Failure: route.FailDeadline}
+			recordEpisode(res, time.Since(start))
+			err = nil
+			return
+		}
+		recordPanic()
+		err = fmt.Errorf("core: protocol %q panicked routing from %d: %v", p.Name(), s, r)
+	}()
 	res = p.Route(g, obj, s)
 	recordEpisode(res, time.Since(start))
 	return res, nil
@@ -180,6 +242,23 @@ type MilgramConfig struct {
 	// Objective optionally overrides the network's objective factory
 	// (e.g. relaxed objectives for E7).
 	Objective func(t int) route.Objective
+	// MaxHops caps the adjacency queries an episode may make before the
+	// engine cuts it off as route.FailDeadline (0 = no engine cap; protocols
+	// keep their own move caps, reported as route.FailTruncated). Queries
+	// are a deterministic proxy for hops — greedy-style protocols query each
+	// visited vertex once — so the cap lands identically at any worker count.
+	MaxHops int
+	// EpisodeTimeout caps an episode's wall time, turning a hung or
+	// pathologically slow episode into a counted route.FailDeadline failure
+	// instead of a stalled batch. Unlike MaxHops it is nondeterministic;
+	// use it as a backstop, not as a reproducible cutoff. 0 disables it.
+	EpisodeTimeout time.Duration
+	// Faults layers a fault-injection plan over every episode: the plan is
+	// bound to the graph once per batch, then each episode routes on its own
+	// faulty view (see package faults). Episodes whose source or target the
+	// plan crashed are classified route.FailCrashedTarget without running
+	// the protocol. nil injects nothing.
+	Faults *faults.Plan
 	// Observer, when non-nil, receives the per-move events of every
 	// episode after the batch has routed: events arrive grouped by episode
 	// in episode order, each episode in step order, so the stream is
@@ -205,6 +284,17 @@ type MilgramReport struct {
 	MeanStretch float64
 	// Truncated counts episodes that hit a protocol's move cap.
 	Truncated int
+	// Failures counts the attempted-but-unsuccessful episodes by
+	// classification (see route.Failures). Cancelled episodes never ran and
+	// are counted by Cancelled instead, not here.
+	Failures map[route.Failure]int
+	// Partial reports that the batch was cancelled mid-run: the report
+	// aggregates only the episodes that completed before cancellation and is
+	// returned alongside the context's error instead of being dropped.
+	Partial bool
+	// Cancelled counts the episodes a cancelled batch never ran
+	// (Attempts + Cancelled = MilgramConfig.Pairs on a partial report).
+	Cancelled int
 }
 
 // RunMilgram samples random source/target pairs and routes between them.
@@ -219,8 +309,11 @@ func RunMilgram(nw *Network, cfg MilgramConfig) (MilgramReport, error) {
 // RunMilgramCtx is RunMilgram with cooperative cancellation: episodes are
 // fanned out in chunks and ctx is re-checked between chunks, so a cancelled
 // context (or an expired deadline) aborts the batch within a few episodes
-// and returns ctx.Err(). A ctx that is already done on entry returns before
-// routing any pair. A cancelled batch returns no partial report.
+// and returns ctx.Err(). A ctx that is already done on entry returns an
+// empty report before routing any pair. A batch cancelled mid-run returns
+// the partial report of its completed episodes (Partial set, Cancelled
+// counting the rest) alongside ctx.Err(), so long chaos sweeps keep the
+// work they finished.
 func RunMilgramCtx(ctx context.Context, nw *Network, cfg MilgramConfig) (MilgramReport, error) {
 	if err := ctx.Err(); err != nil {
 		return MilgramReport{}, err
@@ -266,35 +359,62 @@ func RunMilgramCtx(ctx context.Context, nw *Network, cfg MilgramConfig) (Milgram
 		objective = cfg.Objective
 	}
 
+	// Bind the fault plan once per batch; episodes then instantiate cheap
+	// per-episode faulty views keyed by their episode index, so fault
+	// decisions are independent of worker count and scheduling.
+	bound := cfg.Faults.Bind(nw.Graph)
+
 	// Route every pair; episodes are deterministic and independent.
 	type episode struct {
+		done      bool // routed (false only when the batch was cancelled first)
 		success   bool
 		truncated bool
+		failure   route.Failure
 		moves     int
 		stretch   float64 // 0 when not computed or failed
 		path      []int   // retained only for observer replay
 		err       error
 	}
 	episodes := make([]episode, len(pairs))
-	if err := par.ForEachCtx(ctx, len(pairs), 0, func(i int) {
+	batchErr := par.ForEachCtx(ctx, len(pairs), 0, func(i int) {
 		p := pairs[i]
-		res, err := runEpisode(nw.Graph, proto, objective(p.t), p.s)
+		eg, eobj := route.Graph(nw.Graph), objective(p.t)
+		if !bound.Empty() {
+			if bound.Crashed(p.s) || bound.Crashed(p.t) {
+				// Delivery from/to a crashed vertex is impossible; classify
+				// without running the protocol (the episode still counts).
+				recordEpisode(route.Result{Path: []int{p.s}, Unique: 1, Stuck: -1,
+					Failure: route.FailCrashedTarget}, 0)
+				episodes[i] = episode{done: true, failure: route.FailCrashedTarget}
+				return
+			}
+			eg, eobj = bound.View(eg, eobj, i)
+		}
+		res, err := runEpisode(eg, proto, eobj, p.s, cfg.MaxHops, cfg.EpisodeTimeout)
 		if err != nil {
-			episodes[i] = episode{err: err}
+			episodes[i] = episode{done: true, err: err}
 			return
 		}
-		ep := episode{success: res.Success, truncated: res.Truncated, moves: res.Moves}
+		ep := episode{done: true, success: res.Success, truncated: res.Truncated,
+			failure: res.Failure, moves: res.Moves}
 		if cfg.Observer != nil {
 			ep.path = res.Path
 		}
 		if res.Success && cfg.ComputeStretch {
+			// Stretch is measured against the fault-free graph: injected
+			// faults change what routing sees, not what distance means.
 			if d := graph.BFSDistance(nw.Graph, p.s, p.t); d > 0 {
 				ep.stretch = float64(res.Moves) / float64(d)
 			}
 		}
 		episodes[i] = ep
-	}); err != nil {
-		return MilgramReport{}, err
+	})
+	// A panic that escaped an episode (a buggy fault model or objective
+	// factory; protocol panics are already converted to episode errors) was
+	// contained by par: fail only this batch, with the episode named.
+	var pe *par.PanicError
+	if errors.As(batchErr, &pe) {
+		return MilgramReport{}, fmt.Errorf("core: batch episode %d died: %w", pe.Index, pe)
 	}
 	// Propagate the first episode error (in episode order, so the reported
 	// failure is deterministic regardless of worker scheduling).
@@ -306,19 +426,38 @@ func RunMilgramCtx(ctx context.Context, nw *Network, cfg MilgramConfig) (Milgram
 
 	// Replay per-move events to the observer, grouped by episode in episode
 	// order: a deterministic stream even though routing ran concurrently.
+	// Replay walks the fault-free graph and objective: the recorded paths
+	// are what the faulty views routed, the replayed scores are the true
+	// objective values along them.
 	if cfg.Observer != nil {
 		for i, p := range pairs {
+			if !episodes[i].done {
+				continue
+			}
 			route.Observe(nw.Graph, objective(p.t), route.Result{Path: episodes[i].path}, i, cfg.Observer)
 		}
 	}
 
-	rep := MilgramReport{Attempts: len(pairs)}
+	rep := MilgramReport{Failures: map[route.Failure]int{}}
 	successes := 0
-	for _, ep := range episodes {
+	for i := range episodes {
+		ep := &episodes[i]
+		if !ep.done {
+			rep.Cancelled++
+			continue
+		}
+		rep.Attempts++
 		if ep.truncated {
 			rep.Truncated++
 		}
 		if !ep.success {
+			// Hand-rolled external protocols may fail without classifying;
+			// count those as dead ends, as the engine counters do.
+			f := ep.failure
+			if f == route.FailNone {
+				f = route.FailDeadEnd
+			}
+			rep.Failures[f]++
 			continue
 		}
 		successes++
@@ -330,5 +469,11 @@ func RunMilgramCtx(ctx context.Context, nw *Network, cfg MilgramConfig) (Milgram
 	rep.Success = stats.NewProportion(successes, rep.Attempts)
 	rep.MeanHops = stats.Mean(rep.Hops)
 	rep.MeanStretch = stats.Mean(rep.Stretches)
+	if batchErr != nil {
+		// Cancelled mid-run: hand back what completed instead of dropping it.
+		rep.Partial = true
+		recordCancelled(rep.Cancelled)
+		return rep, batchErr
+	}
 	return rep, nil
 }

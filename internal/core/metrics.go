@@ -15,7 +15,21 @@ import (
 // increments; the aggregate is exported through expvar under
 // "smallworld.engine" (visible on /debug/vars when the process serves HTTP)
 // and snapshotted by Stats for tests and CLIs.
-var engine engineVars
+var engine = engineVars{taxonomy: make([]atomic.Int64, len(failureOrder))}
+
+// failureOrder fixes the reporting order of the failure-taxonomy counters.
+var failureOrder = route.Failures()
+
+// failureIndex maps a classification to its taxonomy counter (-1 for
+// FailNone or an unknown classification).
+func failureIndex(f route.Failure) int {
+	for i, g := range failureOrder {
+		if g == f {
+			return i
+		}
+	}
+	return -1
+}
 
 // durBuckets is the number of log2 wall-time buckets: bucket b counts
 // episodes with wall time in [2^(b-1), 2^b) microseconds (bucket 0 is
@@ -30,6 +44,7 @@ type engineVars struct {
 	panics      atomic.Int64
 	batches     atomic.Int64
 	durations   [durBuckets]atomic.Int64
+	taxonomy    []atomic.Int64 // indexed like failureOrder
 }
 
 func durBucket(d time.Duration) int {
@@ -59,7 +74,26 @@ func recordEpisode(res route.Result, d time.Duration) {
 	if !res.Success {
 		engine.failures.Add(1)
 	}
+	// Classify the failure for the taxonomy counters. Hand-rolled external
+	// protocols may fail without setting Failure; count those as dead ends so
+	// the taxonomy stays complete.
+	f := res.Failure
+	if !res.Success && f == route.FailNone {
+		f = route.FailDeadEnd
+	}
+	if i := failureIndex(f); i >= 0 {
+		engine.taxonomy[i].Add(1)
+	}
 	engine.durations[durBucket(d)].Add(1)
+}
+
+// recordCancelled counts episodes a cancelled batch never ran. They appear
+// only under the "cancelled" taxonomy counter — not in Episodes, Failures or
+// the wall-time histogram, which all count episodes that actually routed.
+func recordCancelled(n int) {
+	if n > 0 {
+		engine.taxonomy[failureIndex(route.FailCancelled)].Add(int64(n))
+	}
 }
 
 // recordPanic counts an episode whose protocol panicked (the engine converts
@@ -85,6 +119,12 @@ type EngineStats struct {
 	Panics int64
 	// Batches is the number of RunMilgram/RunMilgramCtx invocations.
 	Batches int64
+	// FailureTaxonomy counts unsuccessful episodes by route.Failure
+	// classification. Every taxonomy key is always present (zero-valued when
+	// unseen) so dashboards can rely on the key set. "cancelled" counts
+	// episodes skipped by cancelled batches, which the other counters omit
+	// because those episodes never routed.
+	FailureTaxonomy map[string]int64
 	// EpisodeWallTime is a log2 histogram of per-episode wall time, keyed
 	// by human-readable bucket labels; empty buckets are omitted.
 	EpisodeWallTime map[string]int64
@@ -100,7 +140,11 @@ func Stats() EngineStats {
 		Failures:        engine.failures.Load(),
 		Panics:          engine.panics.Load(),
 		Batches:         engine.batches.Load(),
+		FailureTaxonomy: map[string]int64{},
 		EpisodeWallTime: map[string]int64{},
+	}
+	for i, f := range failureOrder {
+		s.FailureTaxonomy[string(f)] = engine.taxonomy[i].Load()
 	}
 	for b := 0; b < durBuckets; b++ {
 		if c := engine.durations[b].Load(); c > 0 {

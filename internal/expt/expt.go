@@ -25,6 +25,11 @@ type Config struct {
 	// cmd/smallworld aborts within a few episodes instead of finishing the
 	// table. A nil Ctx means context.Background().
 	Ctx context.Context
+	// FaultModels restricts which registered fault models the chaos sweep
+	// (E16) exercises; empty means the experiment's default set. Names are
+	// validated against the faults registry when the sweep builds its plans,
+	// so an unknown name fails with the registered list.
+	FaultModels []string
 }
 
 // Context returns the run's context, defaulting to context.Background().
@@ -49,7 +54,7 @@ func (c Config) scaledN(base int) int { return c.scaled(base, 300) }
 
 // Table is the formatted outcome of an experiment.
 type Table struct {
-	// ID is the experiment id (E1..E11, F1).
+	// ID is the experiment id (E1..E16, F1).
 	ID string
 	// Title restates what the table shows.
 	Title string
@@ -124,7 +129,7 @@ func (t Table) Format() string {
 
 // Experiment couples an id with its runner.
 type Experiment struct {
-	// ID is the experiment identifier (E1..E11, F1).
+	// ID is the experiment identifier (E1..E16, F1).
 	ID string
 	// Title is a one-line description.
 	Title string
@@ -145,7 +150,7 @@ func register(e Experiment) {
 	registry[e.ID] = e
 }
 
-// All returns the experiments sorted by id (E1..E11 then F1).
+// All returns the experiments sorted by id (E1..E16 then F1).
 func All() []Experiment {
 	out := make([]Experiment, 0, len(registry))
 	for _, e := range registry {

@@ -3,21 +3,82 @@
 // worker pool. Callers precompute any random choices sequentially and make
 // fn(i) a pure function of i, so parallel runs are bit-identical to
 // sequential ones.
+//
+// Worker panics are contained: a panicking fn(i) no longer tears the whole
+// process down from an unrecoverable worker goroutine. ForEachCtx surfaces
+// the panic as a *PanicError naming the index; ForEach re-raises it as a
+// *PanicError on the calling goroutine, where the caller can recover. In
+// both cases the remaining workers stop claiming new work and drain
+// cleanly. If several invocations panic, the lowest panicking index is
+// reported: chunks are claimed in index order and a claimed chunk runs to
+// its first panic, so the report is deterministic regardless of scheduling.
 package par
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
 
+// PanicError wraps a panic recovered from one fn(i) invocation.
+type PanicError struct {
+	// Index is the invocation index whose fn panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value interface{}
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error names the panicking index and value; the captured stack is
+// available on the struct for loggers that want it.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: fn(%d) panicked: %v", e.Index, e.Value)
+}
+
+// panicTracker records the lowest-index panic across workers.
+type panicTracker struct {
+	mu sync.Mutex
+	pe *PanicError
+}
+
+// record keeps the panic with the smallest index.
+func (t *panicTracker) record(pe *PanicError) {
+	t.mu.Lock()
+	if t.pe == nil || pe.Index < t.pe.Index {
+		t.pe = pe
+	}
+	t.mu.Unlock()
+}
+
+// invoke runs fn(i), converting a panic into a *PanicError.
+func invoke(fn func(i int), i int) (pe *PanicError) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	fn(i)
+	return nil
+}
+
 // ForEach invokes fn(i) for every i in [0, n), using up to workers
 // goroutines (0 means GOMAXPROCS). It returns when all invocations have
-// finished. fn must be safe to call concurrently for distinct i.
+// finished. fn must be safe to call concurrently for distinct i. If any
+// fn(i) panics, the remaining workers drain, and ForEach re-panics on the
+// calling goroutine with a *PanicError naming the lowest panicking index.
 func ForEach(n, workers int, fn func(i int)) {
+	if pe := forEach(n, workers, fn); pe != nil {
+		panic(pe)
+	}
+}
+
+func forEach(n, workers int, fn func(i int)) *PanicError {
 	if n <= 0 {
-		return
+		return nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -27,26 +88,37 @@ func ForEach(n, workers int, fn func(i int)) {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			if pe := invoke(fn, i); pe != nil {
+				return pe
+			}
 		}
-		return
+		return nil
 	}
-	var next int64 = -1
-	var wg sync.WaitGroup
+	var (
+		next    int64 = -1
+		stopped atomic.Bool
+		tracker panicTracker
+		wg      sync.WaitGroup
+	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for !stopped.Load() {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
 					return
 				}
-				fn(i)
+				if pe := invoke(fn, i); pe != nil {
+					tracker.record(pe)
+					stopped.Store(true)
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	return tracker.pe
 }
 
 // ctxChunk is how many indices a worker claims per context check in
@@ -61,7 +133,10 @@ const ctxChunk = 16
 // claiming new chunks and ForEachCtx returns ctx.Err(); indices already
 // claimed may still run, so on a non-nil return the caller must treat the
 // output as partial. A ctx that is already done on entry returns its error
-// before any invocation. A nil error means every fn(i) ran exactly once.
+// before any invocation. If any fn(i) panics, the panic is contained: the
+// remaining workers drain cleanly and ForEachCtx returns a *PanicError
+// naming the lowest panicking index (taking precedence over a concurrent
+// cancellation). A nil error means every fn(i) ran exactly once.
 func ForEachCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -81,28 +156,41 @@ func ForEachCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 				return err
 			}
 			for i := base; i < base+ctxChunk && i < n; i++ {
-				fn(i)
+				if pe := invoke(fn, i); pe != nil {
+					return pe
+				}
 			}
 		}
 		return ctx.Err()
 	}
-	var next int64
-	var wg sync.WaitGroup
+	var (
+		next    int64
+		stopped atomic.Bool
+		tracker panicTracker
+		wg      sync.WaitGroup
+	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for ctx.Err() == nil {
+			for ctx.Err() == nil && !stopped.Load() {
 				base := int(atomic.AddInt64(&next, ctxChunk)) - ctxChunk
 				if base >= n {
 					return
 				}
 				for i := base; i < base+ctxChunk && i < n; i++ {
-					fn(i)
+					if pe := invoke(fn, i); pe != nil {
+						tracker.record(pe)
+						stopped.Store(true)
+						return
+					}
 				}
 			}
 		}()
 	}
 	wg.Wait()
+	if tracker.pe != nil {
+		return tracker.pe
+	}
 	return ctx.Err()
 }

@@ -3,6 +3,7 @@ package par
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -120,6 +121,91 @@ func TestForEachCtxEmpty(t *testing.T) {
 	}
 	if called {
 		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestForEachCtxPanicContained(t *testing.T) {
+	// A panicking fn must not take down the process: the panic surfaces as a
+	// *PanicError naming the index, and the remaining workers drain cleanly
+	// (every invocation either completes or is skipped — none is left
+	// running after ForEachCtx returns).
+	for _, workers := range []int{1, 4} {
+		const n = 10000
+		var running, completed int32
+		err := ForEachCtx(context.Background(), n, workers, func(i int) {
+			atomic.AddInt32(&running, 1)
+			defer atomic.AddInt32(&running, -1)
+			if i == 137 {
+				panic("episode 137 is bad")
+			}
+			atomic.AddInt32(&completed, 1)
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Index != 137 {
+			t.Fatalf("workers=%d: panic index %d, want 137", workers, pe.Index)
+		}
+		if !strings.Contains(pe.Error(), "137") || !strings.Contains(pe.Error(), "episode 137 is bad") {
+			t.Fatalf("workers=%d: error %q does not name index and value", workers, pe.Error())
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: no stack captured", workers)
+		}
+		if got := atomic.LoadInt32(&running); got != 0 {
+			t.Fatalf("workers=%d: %d invocations still running after return", workers, got)
+		}
+		if got := atomic.LoadInt32(&completed); int(got) >= n {
+			t.Fatalf("workers=%d: all %d indices completed despite panic", workers, got)
+		}
+	}
+}
+
+func TestForEachCtxPanicReportsLowestIndex(t *testing.T) {
+	// With several panicking indices the reported one must be deterministic
+	// regardless of worker scheduling: the lowest.
+	for run := 0; run < 10; run++ {
+		err := ForEachCtx(context.Background(), 64, 8, func(i int) {
+			panic(i)
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("err = %v, want *PanicError", err)
+		}
+		// Workers claim chunks in order, so index 0's chunk always runs; the
+		// lowest recorded panic is therefore always 0.
+		if pe.Index != 0 {
+			t.Fatalf("run %d: reported index %d, want 0", run, pe.Index)
+		}
+	}
+}
+
+func TestForEachPanicRepanicsOnCaller(t *testing.T) {
+	// ForEach has no error return: it re-raises the contained panic on the
+	// calling goroutine, where the caller can recover it. The panic value is
+	// the same *PanicError ForEachCtx would return.
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic swallowed", workers)
+				}
+				pe, ok := r.(*PanicError)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %T, want *PanicError", workers, r)
+				}
+				if pe.Index != 7 {
+					t.Fatalf("workers=%d: panic index %d, want 7", workers, pe.Index)
+				}
+			}()
+			ForEach(100, workers, func(i int) {
+				if i == 7 {
+					panic("boom")
+				}
+			})
+		}()
 	}
 }
 

@@ -1,7 +1,7 @@
 package route
 
 import (
-	"repro/internal/xrand"
+	"sync/atomic"
 )
 
 // FlakyGraph wraps a Graph so that every adjacency query independently
@@ -11,16 +11,21 @@ import (
 // the current vertex can send the message to any other good neighbor
 // instead"). Failures are transient: the same edge may be present on the
 // next query. The wrapper is deterministic given its seed and the sequence
-// of queries.
+// of queries, and — unlike its original implementation, which reused one
+// neighbor buffer and one RNG across callers — safe for concurrent
+// episodes: drop decisions are pure hashes of (seed, query number, edge)
+// and every call returns a freshly allocated slice.
 //
-// It is intended for the greedy protocol (experiment E12); the patching
-// protocols assume a stable topology for their parent pointers and visited
-// walks.
+// Deprecated: use the "edge-drop" model of package faults, whose
+// per-episode views additionally make concurrent batches bit-identical to
+// sequential ones (a shared FlakyGraph's query numbering depends on episode
+// interleaving). FlakyGraph remains for the E12 experiment and pre-faults
+// callers.
 type FlakyGraph struct {
 	inner    Graph
 	failProb float64
-	rng      *xrand.RNG
-	buf      []int32
+	seed     uint64
+	queries  atomic.Uint64
 }
 
 // NewFlakyGraph wraps g with per-query edge failure probability p.
@@ -31,7 +36,7 @@ func NewFlakyGraph(g Graph, p float64, seed uint64) *FlakyGraph {
 	if p > 1 {
 		p = 1
 	}
-	return &FlakyGraph{inner: g, failProb: p, rng: xrand.New(seed)}
+	return &FlakyGraph{inner: g, failProb: p, seed: seed}
 }
 
 // N returns the number of vertices.
@@ -41,20 +46,23 @@ func (f *FlakyGraph) N() int { return f.inner.N() }
 func (f *FlakyGraph) Weight(v int) float64 { return f.inner.Weight(v) }
 
 // Neighbors returns the currently reachable neighbors of v: each underlying
-// edge is dropped independently with the failure probability. The returned
-// slice is reused across calls.
+// edge is dropped independently with the failure probability. Every call
+// returns a fresh slice and advances the shared query counter atomically,
+// so concurrent episodes are safe (though their interleaving determines
+// which query number each episode observes).
 func (f *FlakyGraph) Neighbors(v int) []int32 {
 	all := f.inner.Neighbors(v)
 	if f.failProb == 0 {
 		return all
 	}
-	f.buf = f.buf[:0]
+	q := f.queries.Add(1) - 1
+	out := make([]int32, 0, len(all))
 	for _, u := range all {
-		if !f.rng.Bernoulli(f.failProb) {
-			f.buf = append(f.buf, u)
+		if hashFloat(f.seed^(q*0x9e3779b97f4a7c15), uint64(v)<<32^uint64(uint32(u))) >= f.failProb {
+			out = append(out, u)
 		}
 	}
-	return f.buf
+	return out
 }
 
 var _ Graph = (*FlakyGraph)(nil)

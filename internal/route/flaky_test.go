@@ -1,6 +1,7 @@
 package route
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/graph"
@@ -109,6 +110,52 @@ func TestGreedySurvivesModerateEdgeFailures(t *testing.T) {
 	if ratio < 0.6 {
 		t.Fatalf("20%% edge failures dropped success from %d to %d (ratio %v)", baseline, flaky, ratio)
 	}
+}
+
+// TestFlakyGraphConcurrentEpisodes is the -race regression for the shared
+// neighbor-buffer hazard: Protocol promises concurrency safety, so one
+// FlakyGraph must serve parallel episodes without data races or corrupted
+// adjacency slices. The original implementation reused one buffer and one
+// RNG across callers and failed this test under -race.
+func TestFlakyGraphConcurrentEpisodes(t *testing.T) {
+	g := girgDefault(t, 2000, 23)
+	giant := graph.GiantComponent(g)
+	fg := NewFlakyGraph(g, 0.2, 99)
+	rng := xrand.New(24)
+	const episodes = 64
+	type pair struct{ s, t int }
+	pairs := make([]pair, episodes)
+	for i := range pairs {
+		pairs[i] = pair{giant[rng.IntN(len(giant))], giant[rng.IntN(len(giant))]}
+	}
+	var wg sync.WaitGroup
+	results := make([]Result, episodes)
+	for i := range pairs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := pairs[i]
+			res := Greedy(fg, NewStandard(g, p.t), p.s)
+			// Every step must be a true underlying edge: a corrupted shared
+			// buffer would splice another episode's adjacency list in here.
+			for k := 1; k < len(res.Path); k++ {
+				a, b := res.Path[k-1], res.Path[k]
+				found := false
+				for _, u := range g.Neighbors(a) {
+					if int(u) == b {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("episode %d: step %d -> %d is not an edge", i, a, b)
+					return
+				}
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
 }
 
 func girgDefault(t testing.TB, n float64, seed uint64) *graph.Graph {

@@ -1,44 +1,5 @@
 package route
 
-// Result describes one routing episode.
-type Result struct {
-	// Success reports whether the message reached the target.
-	Success bool
-	// Path is the sequence of message positions, starting at the source;
-	// for pure greedy routing it is strictly objective-increasing, for
-	// patched protocols it includes backtracking moves.
-	Path []int
-	// Moves is the number of message transmissions, len(Path)-1.
-	Moves int
-	// Unique is the number of distinct vertices the message visited.
-	Unique int
-	// Stuck is the local-optimum vertex where pure greedy routing gave up,
-	// or -1 (always -1 on success and for patched protocols that exhaust
-	// the component instead).
-	Stuck int
-	// Truncated reports that the protocol hit its move cap before either
-	// succeeding or provably failing (only patched protocols can set it).
-	Truncated bool
-}
-
-func newResult(s int) *Result {
-	return &Result{Path: []int{s}, Stuck: -1}
-}
-
-func (r *Result) step(v int) {
-	r.Path = append(r.Path, v)
-	r.Moves++
-}
-
-func (r *Result) finish() Result {
-	seen := make(map[int]struct{}, len(r.Path))
-	for _, v := range r.Path {
-		seen[v] = struct{}{}
-	}
-	r.Unique = len(seen)
-	return *r
-}
-
 // GreedyRouter is the pure greedy protocol of Algorithm 1 as a registered
 // Protocol: from the current vertex, move to the neighbor with the largest
 // objective if it improves on the current vertex, otherwise drop the packet.
