@@ -2,15 +2,25 @@
 
 GO ?= go
 
-.PHONY: all check build test race vet cover bench bench-full experiments examples clean
+.PHONY: all check vuln build test race vet cover bench bench-full experiments examples clean
 
 all: check
 
 # The default verification gate: static checks plus the full test suite
-# under the race detector.
-check:
+# under the race detector, and a vulnerability scan when the scanner is
+# installed.
+check: vuln
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# govulncheck when available (CI installs it; locally it is optional:
+# `go install golang.org/x/vuln/cmd/govulncheck@latest`).
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping vulnerability scan"; \
+	fi
 
 build:
 	$(GO) build ./...

@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/girg"
 	"repro/internal/graph"
 	"repro/internal/plot"
@@ -260,13 +261,24 @@ func figRobustness(ctx context.Context, scale float64, seed uint64) (*plot.Plot,
 	}
 	var xs, ys []float64
 	for _, failP := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7} {
+		// Inject transient link failures through the faults registry: one
+		// bound edge-drop plan per failure rate, one per-episode view per
+		// pair, deterministic at any worker count.
+		var bound *faults.BoundPlan
+		if failP > 0 {
+			plan, err := faults.NewPlan(seed+1300, faults.Spec{Model: "edge-drop", Rate: failP})
+			if err != nil {
+				return nil, err
+			}
+			bound = plan.Bind(g)
+		}
 		succ := 0
 		for i, pr := range ps {
-			var rg route.Graph = g
-			if failP > 0 {
-				rg = route.NewFlakyGraph(g, failP, seed+uint64(1300+i))
+			eg, eobj := route.Graph(g), route.Objective(route.NewStandard(g, pr.t))
+			if bound != nil {
+				eg, eobj = bound.View(eg, eobj, i)
 			}
-			if route.Greedy(rg, route.NewStandard(g, pr.t), pr.s).Success {
+			if route.Greedy(eg, eobj, pr.s).Success {
 				succ++
 			}
 		}

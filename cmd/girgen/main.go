@@ -11,10 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 
 	"repro/internal/girg"
 	"repro/internal/graph"
@@ -25,13 +27,19 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// Ctrl-C during a large generation aborts with a partial-progress
+	// message instead of leaving the user to kill -9 a silent process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := runCtx(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "girgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string) error { return runCtx(context.Background(), args) }
+
+func runCtx(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("girgen", flag.ContinueOnError)
 	var (
 		model  = fs.String("model", "girg", "model: girg | hrg | kgrid | kcont")
@@ -64,43 +72,66 @@ func run(args []string) error {
 		return err
 	}
 
-	var (
+	// Generation runs in its own goroutine so SIGINT can abort a large
+	// instance mid-build; the samplers themselves are not context-aware, so
+	// an abandoned generation finishes in the background while the process
+	// exits with a partial-progress message.
+	type genResult struct {
 		g   *graph.Graph
 		err error
-	)
-	switch *model {
-	case "girg":
-		p := girg.Params{
-			N: *n, Dim: *dim, Beta: *beta, Alpha: *alpha,
-			WMin: *wmin, Lambda: *lambda, FixedN: !*poisson,
-		}
-		if *alpha <= 0 {
-			p.Alpha = math.Inf(1)
-		}
-		g, err = girg.Generate(p, *seed, girg.Options{})
-	case "hrg":
-		p := hrg.Params{N: int(*n), AlphaH: *alphaH, CH: *ch, TH: *temp}
-		gen := hrg.Generate
-		if p.N > 30000 {
-			gen = hrg.GenerateFast // same distribution, near-linear time
-		}
-		g, err = gen(p, *seed)
-	case "kgrid":
-		var gr *kleinberg.Grid
-		gr, err = kleinberg.GenerateGrid(kleinberg.GridParams{L: *side, Q: *q, R: *r}, *seed)
-		if err == nil {
-			g = gr.Graph()
-		}
-	case "kcont":
-		g, err = kleinberg.GenerateContinuum(kleinberg.ContinuumParams{
-			N: int(*n), Q: *q, AlphaDecay: *decay,
-		}, *seed)
-	default:
-		return fmt.Errorf("unknown model %q", *model)
 	}
-	if err != nil {
-		return err
+	done := make(chan genResult, 1)
+	go func() {
+		var (
+			g   *graph.Graph
+			err error
+		)
+		switch *model {
+		case "girg":
+			p := girg.Params{
+				N: *n, Dim: *dim, Beta: *beta, Alpha: *alpha,
+				WMin: *wmin, Lambda: *lambda, FixedN: !*poisson,
+			}
+			if *alpha <= 0 {
+				p.Alpha = math.Inf(1)
+			}
+			g, err = girg.Generate(p, *seed, girg.Options{})
+		case "hrg":
+			p := hrg.Params{N: int(*n), AlphaH: *alphaH, CH: *ch, TH: *temp}
+			gen := hrg.Generate
+			if p.N > 30000 {
+				gen = hrg.GenerateFast // same distribution, near-linear time
+			}
+			g, err = gen(p, *seed)
+		case "kgrid":
+			var gr *kleinberg.Grid
+			gr, err = kleinberg.GenerateGrid(kleinberg.GridParams{L: *side, Q: *q, R: *r}, *seed)
+			if err == nil {
+				g = gr.Graph()
+			}
+		case "kcont":
+			g, err = kleinberg.GenerateContinuum(kleinberg.ContinuumParams{
+				N: int(*n), Q: *q, AlphaDecay: *decay,
+			}, *seed)
+		default:
+			err = fmt.Errorf("unknown model %q", *model)
+		}
+		done <- genResult{g, err}
+	}()
+	var g *graph.Graph
+	select {
+	case r := <-done:
+		if r.err != nil {
+			return r.err
+		}
+		g = r.g
+	case <-ctx.Done():
+		return fmt.Errorf("interrupted while generating %s instance (n=%g, seed=%d): no output written", *model, *n, *seed)
 	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("interrupted after generating %s instance: no output written", *model)
+	}
+	var err error
 
 	if *stats {
 		s := graph.Summarize(g, 2000, xrand.New(*seed+1))

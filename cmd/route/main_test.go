@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -91,6 +92,75 @@ func TestRunWithFaultModels(t *testing.T) {
 	// Faults compose with any registered protocol and with tracing.
 	if err := run([]string{"-in", path, "-pairs", "2", "-proto", "phi-dfs", "-fault-model", "edge-drop", "-trace"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestExitCodeSuccess(t *testing.T) {
+	path := writeTestGraph(t)
+	code, err := runCtx(context.Background(), []string{"-in", path, "-s", "0", "-t", "5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("successful episode: exit code %d, want 0", code)
+	}
+}
+
+func TestExitCodeDeadEnd(t *testing.T) {
+	// edge-drop at rate 1 empties every adjacency query, so greedy dead-ends
+	// at the source — the exit code must say so.
+	path := writeTestGraph(t)
+	code, err := runCtx(context.Background(),
+		[]string{"-in", path, "-s", "0", "-t", "5", "-fault-model", "edge-drop", "-fault-rate", "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Fatalf("dead-end episode: exit code %d, want 2", code)
+	}
+}
+
+func TestExitCodeCrashedTarget(t *testing.T) {
+	// crash-uniform at rate 1 fails every vertex: the endpoints are gone
+	// before routing starts.
+	path := writeTestGraph(t)
+	code, err := runCtx(context.Background(),
+		[]string{"-in", path, "-s", "0", "-t", "5", "-fault-model", "crash-uniform", "-fault-rate", "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 5 {
+		t.Fatalf("crashed-target episode: exit code %d, want 5", code)
+	}
+}
+
+func TestExitCodeCancelled(t *testing.T) {
+	// A pre-cancelled context stops before the first episode with the
+	// partial-progress path and the "cancelled" exit code.
+	path := writeTestGraph(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	code, err := runCtx(ctx, []string{"-in", path, "-pairs", "5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 6 {
+		t.Fatalf("cancelled run: exit code %d, want 6", code)
+	}
+}
+
+func TestUsageListsExitCodes(t *testing.T) {
+	table := exitCodeTable()
+	for _, want := range []string{"0  every episode delivered", "2  dead-end", "3  deadline", "5  crashed-target", "6  cancelled"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("exit-code table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestServerModeNeedsExplicitPair(t *testing.T) {
+	if err := run([]string{"-server", "localhost:0"}); err == nil {
+		t.Fatal("-server without -s/-t accepted")
 	}
 }
 

@@ -1,0 +1,142 @@
+// smallworldd is the long-running routing daemon: it loads (or samples) a
+// graph snapshot once and then answers s→t routing queries over HTTP/JSON
+// forever, shedding overload with 429s, breaking circuits on failing
+// (graph, protocol) pairs, retrying transient failures with backoff, and
+// draining in-flight episodes on SIGTERM before exit.
+//
+// Endpoints: POST /route, GET /healthz, GET /readyz, GET /debug/vars,
+// POST /admin/swap (see internal/serve).
+//
+// Examples:
+//
+//	smallworldd -n 100000 &
+//	curl -s localhost:8080/route -d '{"s": 3, "t": 99, "protocol": "phi-dfs"}'
+//	curl -s localhost:8080/route -d '{"s": 3, "t": 99, "faults": [{"model": "edge-drop", "rate": 0.2}]}'
+//	curl -s localhost:8080/admin/swap -d '{"n": 50000, "seed": 7}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/girg"
+	"repro/internal/graph"
+	"repro/internal/graphio"
+	"repro/internal/route"
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "smallworldd:", err)
+		os.Exit(1)
+	}
+}
+
+// run builds the server from flags and serves until SIGTERM/SIGINT. When
+// ready is non-nil, the bound address is sent on it once the listener is
+// up (tests use this to serve on port 0).
+func run(args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("smallworldd", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", ":8080", "listen address")
+		in      = fs.String("in", "", "graph file from girgen (default: sample a fresh GIRG)")
+		n       = fs.Float64("n", 10000, "GIRG size when sampling")
+		seed    = fs.Uint64("seed", 1, "random seed for sampling")
+		workers = fs.Int("workers", 0, "max concurrently routing requests (0 = 4)")
+		queue   = fs.Int("queue", 0, "max requests waiting for a worker (0 = 16); beyond this, shed with 429")
+		timeout = fs.Duration("timeout", 2*time.Second, "per-request deadline, retries included")
+		maxHops = fs.Int("max-hops", 0, "per-attempt adjacency-query budget (0 = engine default, -1 = unlimited)")
+		retries = fs.Int("retries", 0, "total routing attempts per request (0 = 3)")
+		drainT  = fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		g   *graph.Graph
+		err error
+	)
+	if *in != "" {
+		f, err2 := os.Open(*in)
+		if err2 != nil {
+			return err2
+		}
+		g, err = graphio.Read(f)
+		f.Close()
+	} else {
+		p := girg.DefaultParams(*n)
+		p.FixedN = true
+		g, err = girg.Generate(p, *seed, girg.Options{})
+	}
+	if err != nil {
+		return err
+	}
+	nw := &core.Network{
+		Graph: g,
+		Label: fmt.Sprintf("smallworldd(n=%d)", g.N()),
+		NewObjective: func(t int) route.Objective {
+			return route.NewStandard(g, t)
+		},
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+		MaxHops:        *maxHops,
+		Retry:          serve.RetryPolicy{MaxAttempts: *retries, Seed: *seed},
+	})
+	srv.AddNetwork(serve.DefaultGraph, nw)
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("serving %s (n=%d, m=%d) on %s", nw.Label, g.N(), g.M(), ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	// SIGTERM/SIGINT triggers graceful drain: readiness goes 503, new
+	// routes are rejected, in-flight episodes finish and write their
+	// responses, then the listener closes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("shutdown: draining in-flight requests (up to %v)", *drainT)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainT)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if err := hs.Shutdown(dctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("shutdown: clean")
+	return nil
+}

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/girg"
+	"repro/internal/graphio"
+	"repro/internal/serve"
+)
+
+func writeTestGraph(t *testing.T) string {
+	t.Helper()
+	p := girg.DefaultParams(400)
+	p.FixedN = true
+	g, err := girg.Generate(p, 11, girg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.girg")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := graphio.Write(f, g); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestDaemonEndToEnd boots the daemon on an ephemeral port, exercises the
+// HTTP surface, and shuts it down with SIGTERM — the same drain path a
+// process manager uses.
+func TestDaemonEndToEnd(t *testing.T) {
+	path := writeTestGraph(t)
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{"-addr", "127.0.0.1:0", "-in", path, "-workers", "2", "-queue", "2"}, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errc:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not become ready")
+	}
+
+	for _, probe := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(base + probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s = %d, want 200", probe, resp.StatusCode)
+		}
+	}
+
+	body, _ := json.Marshal(serve.RouteRequest{S: 1, T: 42})
+	resp, err := http.Post(base+"/route", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr serve.RouteResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/route = %d, want 200", resp.StatusCode)
+	}
+	if rr.Attempts < 1 {
+		t.Fatalf("attempts = %d", rr.Attempts)
+	}
+
+	// SIGTERM: the daemon drains and run returns cleanly.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run after SIGTERM = %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit on SIGTERM")
+	}
+}
+
+// TestDaemonBadFlags verifies flag and load errors surface as errors, not
+// hangs.
+func TestDaemonBadFlags(t *testing.T) {
+	if err := run([]string{"-in", filepath.Join(t.TempDir(), "missing.girg")}, nil); err == nil {
+		t.Fatal("missing graph file did not error")
+	}
+	if err := run([]string{"-addr", "256.0.0.1:bad"}, nil); err == nil {
+		t.Fatal("bad address did not error")
+	}
+}
+
+// TestDaemonSamplesFreshGraph covers the sample-on-boot path with a tiny
+// graph and an immediate shutdown.
+func TestDaemonSamplesFreshGraph(t *testing.T) {
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{"-addr", "127.0.0.1:0", "-n", "300"}, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errc:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not become ready")
+	}
+	resp, err := http.Get(base + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, ok := vars["smallworld.serve"]; !ok {
+		t.Fatal("/debug/vars missing smallworld.serve")
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("run after SIGTERM = %v", err)
+	}
+}

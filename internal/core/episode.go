@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/route"
+)
+
+// EpisodeConfig configures one budgeted routing episode — the single-query
+// analogue of MilgramConfig, exported so long-running services can drive the
+// engine one request at a time with the same budget and fault machinery the
+// batch runner uses.
+type EpisodeConfig struct {
+	// Protocol selects the routing protocol by registered name ("" = greedy).
+	Protocol Protocol
+	// S and T are the source and target vertices.
+	S, T int
+	// MaxHops caps the adjacency queries before the engine cuts the episode
+	// off as route.FailDeadline (0 = no cap), exactly as in MilgramConfig.
+	MaxHops int
+	// Timeout caps the episode's wall time (0 = none). A service maps its
+	// per-request deadline onto this field, turning a slow episode into a
+	// classified route.FailDeadline instead of a stuck handler.
+	Timeout time.Duration
+	// Faults optionally layers a fault-injection plan over the episode. The
+	// plan binds to the graph per call, so per-request plans are cheap for the
+	// transient models and pay their per-graph setup only when a crash model
+	// is present. nil injects nothing.
+	Faults *faults.Plan
+	// Episode is the episode index handed to the fault plan's views; retrying
+	// services vary it per attempt so transient fault draws are independent
+	// across retries.
+	Episode int
+	// Observer, when non-nil, receives the episode's per-move events after it
+	// finishes (replayed over the fault-free graph and objective).
+	Observer route.Observer
+}
+
+// RouteEpisode runs one budgeted routing episode under cfg. Episodes whose
+// source or target a fault plan crashed are classified
+// route.FailCrashedTarget without running the protocol; budget cuts come
+// back as route.FailDeadline results, not errors. Every episode feeds the
+// process-wide engine counters, so services built on this entry point get
+// the expvar taxonomy for free.
+func (nw *Network) RouteEpisode(cfg EpisodeConfig) (route.Result, error) {
+	p, err := resolve(cfg.Protocol)
+	if err != nil {
+		return route.Result{}, err
+	}
+	if cfg.S < 0 || cfg.S >= nw.Graph.N() || cfg.T < 0 || cfg.T >= nw.Graph.N() {
+		return route.Result{}, fmt.Errorf("core: vertex pair (%d, %d) out of range (n = %d)", cfg.S, cfg.T, nw.Graph.N())
+	}
+	obj := nw.NewObjective(cfg.T)
+	eg := route.Graph(nw.Graph)
+	eobj := obj
+	bound := cfg.Faults.Bind(nw.Graph)
+	if !bound.Empty() {
+		if bound.Crashed(cfg.S) || bound.Crashed(cfg.T) {
+			res := route.Result{Path: []int{cfg.S}, Unique: 1, Stuck: -1, Failure: route.FailCrashedTarget}
+			recordEpisode(res, 0)
+			return res, nil
+		}
+		eg, eobj = bound.View(eg, eobj, cfg.Episode)
+	}
+	res, err := runEpisode(eg, p, eobj, cfg.S, cfg.MaxHops, cfg.Timeout)
+	if err != nil {
+		return route.Result{}, err
+	}
+	if cfg.Observer != nil {
+		route.Observe(nw.Graph, obj, res, cfg.Episode, cfg.Observer)
+	}
+	return res, nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/faults"
 	"repro/internal/girg"
 	"repro/internal/graph"
 	"repro/internal/par"
@@ -59,15 +60,26 @@ func runE12(cfg Config) (Table, error) {
 	}
 	var base float64
 	for _, failP := range []float64{0, 0.1, 0.2, 0.3, 0.5, 0.7} {
+		// Transient link failures come from the faults registry ("edge-drop",
+		// the model that subsumed route.FlakyGraph): one bound plan per
+		// failure rate, one per-episode view per pair, bit-identical at any
+		// worker count.
+		var bound *faults.BoundPlan
+		if failP > 0 {
+			plan, err := faults.NewPlan(cfg.Seed+1300, faults.Spec{Model: "edge-drop", Rate: failP})
+			if err != nil {
+				return t, err
+			}
+			bound = plan.Bind(g)
+		}
 		succ := 0
 		var hops []float64
 		for i, pr := range ps {
-			obj := route.NewStandard(g, pr.t)
-			var rg route.Graph = g
-			if failP > 0 {
-				rg = route.NewFlakyGraph(g, failP, cfg.Seed+uint64(1300+i))
+			eg, eobj := route.Graph(g), route.Objective(route.NewStandard(g, pr.t))
+			if bound != nil {
+				eg, eobj = bound.View(eg, eobj, i)
 			}
-			res := route.Greedy(rg, obj, pr.s)
+			res := route.Greedy(eg, eobj, pr.s)
 			if res.Success {
 				succ++
 				hops = append(hops, float64(res.Moves))

@@ -81,8 +81,8 @@ func (b boundDrop) View(g route.Graph, obj route.Objective, episode int) (route.
 
 // dropGraph drops each incident edge independently per adjacency query. One
 // instance serves one episode: the query counter and the reused neighbor
-// buffer are goroutine-local by construction, which is what makes the model
-// safe where the deprecated route.FlakyGraph's shared buffer was not.
+// buffer are goroutine-local by construction, which is what made the model
+// safe where the removed route.FlakyGraph's shared buffer was not.
 type dropGraph struct {
 	inner    route.Graph
 	seed     uint64

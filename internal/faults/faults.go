@@ -8,7 +8,7 @@
 // route.Objective pair:
 //
 //   - "edge-drop":       transient per-query edge failures (the remark after
-//     Theorem 3.5; subsumes and deprecates route.FlakyGraph)
+//     Theorem 3.5; replaced the removed route.FlakyGraph)
 //   - "crash-uniform":   permanent uniform vertex churn
 //   - "crash-core":      adversarial crash of the highest-weight vertices —
 //     an attack on the core that Figure 1's first phase
@@ -37,18 +37,19 @@ import (
 )
 
 // Spec selects and parameterizes one fault model by registered name. It is
-// the CLI-facing configuration unit: -fault-model/-fault-rate flags map to
-// one Spec.
+// the wire- and CLI-facing configuration unit: -fault-model/-fault-rate
+// flags map to one Spec, and the JSON tags let services accept a per-request
+// plan as a list of specs in a request body (see NewPlan).
 type Spec struct {
 	// Model is the registered model name ("edge-drop", "crash-uniform", ...).
-	Model string
+	Model string `json:"model"`
 	// Rate is the model's severity knob in [0, 1]: the per-query edge drop
 	// probability, the crashed-vertex fraction, the per-transmission loss
 	// probability, or the noise amplitude eps of Theorem 3.5.
-	Rate float64
+	Rate float64 `json:"rate"`
 	// Retries bounds the per-forward retry budget of "msg-loss" (ignored by
 	// the other models); 0 means the model default of 1 retry.
-	Retries int
+	Retries int `json:"retries,omitempty"`
 }
 
 // Model is one fault model. Bind precomputes any per-graph state (crash

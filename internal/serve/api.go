@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"net/http"
+
+	"repro/internal/faults"
+	"repro/internal/route"
+)
+
+// This file is the wire contract of the routing service, shared by the
+// daemon (cmd/smallworldd), its HTTP handlers, and CLI clients
+// (cmd/route -server). Keeping the types here means a client and the daemon
+// can never disagree about field names or the failure-class mappings.
+
+// RouteRequest is the body of POST /route: one s→t routing query against a
+// named graph snapshot under a named protocol, optionally degraded by a
+// per-request fault plan.
+type RouteRequest struct {
+	// Graph names the graph snapshot to route on; "" selects "default".
+	Graph string `json:"graph,omitempty"`
+	// Protocol is the registered protocol name; "" selects greedy.
+	Protocol string `json:"protocol,omitempty"`
+	// S and T are the source and target vertices.
+	S int `json:"s"`
+	T int `json:"t"`
+	// Faults optionally layers a per-request fault plan (chaos queries,
+	// fault-tolerance probes). Each spec resolves through the faults
+	// registry; unknown models fail the request with 400.
+	Faults []faults.Spec `json:"faults,omitempty"`
+	// FaultSeed seeds the per-request fault plan (0 = derive from the
+	// request). Retried attempts salt this seed so transient fault draws are
+	// independent across attempts.
+	FaultSeed uint64 `json:"fault_seed,omitempty"`
+	// IncludePath asks for the full vertex path in the response (off by
+	// default: paths on poly-log graphs are short, but dashboards polling
+	// success rates don't want them).
+	IncludePath bool `json:"include_path,omitempty"`
+}
+
+// RouteResponse is the body of a completed /route query (HTTP 200 or a
+// mapped failure status; see StatusFor).
+type RouteResponse struct {
+	// Graph and Protocol echo the resolved names ("" defaults filled in).
+	Graph    string `json:"graph"`
+	Protocol string `json:"protocol"`
+	S        int    `json:"s"`
+	T        int    `json:"t"`
+	// Success reports delivery; Failure carries the taxonomy class of an
+	// unsuccessful episode ("" on success).
+	Success bool   `json:"success"`
+	Failure string `json:"failure,omitempty"`
+	// Moves and Unique describe the final attempt's episode.
+	Moves  int `json:"moves"`
+	Unique int `json:"unique"`
+	// Path is the vertex path of the final attempt (only with IncludePath).
+	Path []int `json:"path,omitempty"`
+	// Attempts counts routing attempts, >1 when transient failures were
+	// retried with backoff.
+	Attempts int `json:"attempts"`
+	// ElapsedMs is the server-side wall time of the whole request, retries
+	// and backoff included.
+	ElapsedMs float64 `json:"elapsed_ms"`
+}
+
+// ErrorResponse is the body of every non-2xx response the daemon writes.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// RetryAfterMs mirrors the Retry-After header on 429/503 responses so
+	// JSON-only clients don't need to parse headers.
+	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
+}
+
+// SwapRequest is the body of POST /admin/swap: generate a fresh GIRG
+// snapshot and atomically install it under a graph name without dropping
+// in-flight requests (they keep routing on the snapshot they resolved).
+type SwapRequest struct {
+	// Graph names the slot to install into; "" selects "default".
+	Graph string `json:"graph,omitempty"`
+	// N is the vertex count of the new GIRG snapshot.
+	N float64 `json:"n"`
+	// Seed drives generation (0 = 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Beta and Alpha override the GIRG defaults when non-zero.
+	Beta  float64 `json:"beta,omitempty"`
+	Alpha float64 `json:"alpha,omitempty"`
+}
+
+// SwapResponse reports the installed snapshot.
+type SwapResponse struct {
+	Graph    string `json:"graph"`
+	Label    string `json:"label"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+}
+
+// StatusFor maps a routing outcome to its HTTP status. Definitive protocol
+// outcomes — delivery, a proven dead end, a protocol-truncated walk — are
+// 200s: the service answered the question, and the body carries the class.
+// Engine-inflicted failures map to 5xx because the *service* (not the
+// query) degraded: deadline means the per-request budget ran out (504),
+// crashed-target means the fault plan took the endpoint down (502), and
+// cancelled means the daemon was draining (503). The same table appears in
+// DESIGN.md §7.
+func StatusFor(f route.Failure) int {
+	switch f {
+	case route.FailNone, route.FailDeadEnd, route.FailTruncated:
+		return http.StatusOK
+	case route.FailDeadline:
+		return http.StatusGatewayTimeout
+	case route.FailCrashedTarget:
+		return http.StatusBadGateway
+	case route.FailCancelled:
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// ExitCodeFor maps a routing outcome to a process exit code — the CLI
+// analogue of StatusFor, used by cmd/route so scripts can branch on *why*
+// routing failed: success=0, dead-end=2, deadline=3, truncated=4,
+// crashed-target=5, cancelled=6 (1 stays the generic error exit).
+func ExitCodeFor(f route.Failure) int {
+	switch f {
+	case route.FailNone:
+		return 0
+	case route.FailDeadEnd:
+		return 2
+	case route.FailDeadline:
+		return 3
+	case route.FailTruncated:
+		return 4
+	case route.FailCrashedTarget:
+		return 5
+	case route.FailCancelled:
+		return 6
+	}
+	return 1
+}

@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for breaker tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testBreaker(clk *fakeClock) *Breaker {
+	return NewBreaker(BreakerConfig{
+		Window:           8,
+		FailureThreshold: 0.5,
+		MinSamples:       4,
+		OpenFor:          time.Second,
+		HalfOpenProbes:   2,
+		Now:              clk.Now,
+	})
+}
+
+// record runs one admitted request through the breaker.
+func record(t *testing.T, b *Breaker, failure bool) {
+	t.Helper()
+	if _, err := b.Allow(); err != nil {
+		t.Fatalf("Allow rejected while expecting admission: %v", err)
+	}
+	b.Record(failure)
+}
+
+// TestBreakerOpensOnFailureRate verifies the sliding-window trip condition:
+// below MinSamples nothing trips, at the threshold it does.
+func TestBreakerOpensOnFailureRate(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := testBreaker(clk)
+
+	// Three straight failures: under MinSamples, still closed.
+	for i := 0; i < 3; i++ {
+		record(t, b, true)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after 3 failures = %v, want closed", got)
+	}
+	// Fourth failure reaches MinSamples with rate 1.0: open.
+	record(t, b, true)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after 4 failures = %v, want open", got)
+	}
+	if _, err := b.Allow(); err != ErrBreakerOpen {
+		t.Fatalf("Allow while open = %v, want ErrBreakerOpen", err)
+	}
+	if got := b.Opens(); got != 1 {
+		t.Fatalf("Opens = %d, want 1", got)
+	}
+}
+
+// TestBreakerStaysClosedUnderThreshold verifies a healthy majority keeps
+// the breaker closed as the window slides.
+func TestBreakerStaysClosedUnderThreshold(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := testBreaker(clk)
+	for i := 0; i < 50; i++ {
+		record(t, b, i%4 == 0) // 25% failures < 50% threshold
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed", got)
+	}
+}
+
+// TestBreakerRecovery walks the full open → half-open → closed arc and the
+// relapse arc (probe failure reopens).
+func TestBreakerRecovery(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := testBreaker(clk)
+	for i := 0; i < 4; i++ {
+		record(t, b, true)
+	}
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker should be open")
+	}
+	retryIn, err := b.Allow()
+	if err != ErrBreakerOpen {
+		t.Fatalf("Allow = %v, want ErrBreakerOpen", err)
+	}
+	if retryIn <= 0 || retryIn > time.Second {
+		t.Fatalf("retryIn = %v, want in (0, 1s]", retryIn)
+	}
+
+	// Open interval elapses: half-open admits bounded probes.
+	clk.Advance(time.Second)
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state after open interval = %v, want half-open", got)
+	}
+	// First probe fails: straight back to open with a fresh clock.
+	record(t, b, true)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+
+	// Next round: two successful probes close it.
+	clk.Advance(time.Second)
+	record(t, b, false)
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state after 1/2 probes = %v, want half-open", got)
+	}
+	record(t, b, false)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after 2/2 probes = %v, want closed", got)
+	}
+	// The window was reset on close: old failures cannot re-trip.
+	record(t, b, true)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after single post-recovery failure = %v, want closed", got)
+	}
+}
+
+// TestBreakerHalfOpenBoundsProbes verifies half-open admits at most
+// HalfOpenProbes concurrent probes and rejects the rest.
+func TestBreakerHalfOpenBoundsProbes(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := testBreaker(clk)
+	for i := 0; i < 4; i++ {
+		record(t, b, true)
+	}
+	clk.Advance(time.Second)
+	// Admit HalfOpenProbes probes without recording yet.
+	for i := 0; i < 2; i++ {
+		if _, err := b.Allow(); err != nil {
+			t.Fatalf("probe %d rejected: %v", i, err)
+		}
+	}
+	if _, err := b.Allow(); err != ErrBreakerOpen {
+		t.Fatalf("probe overflow = %v, want ErrBreakerOpen", err)
+	}
+	b.Record(false)
+	b.Record(false)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed", got)
+	}
+}
+
+// TestBreakerConcurrentHammer hammers one breaker from many goroutines
+// under the race detector: the invariant is simply that the state machine
+// never deadlocks or corrupts (state stays one of the three values and the
+// books stay consistent enough to keep admitting after recovery).
+func TestBreakerConcurrentHammer(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := testBreaker(clk)
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if _, err := b.Allow(); err != nil {
+					continue
+				}
+				b.Record((w+i)%4 == 0)
+			}
+		}(w)
+	}
+	// Advance the clock concurrently so open intervals elapse mid-hammer.
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				clk.Advance(100 * time.Millisecond)
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	if s := b.State(); s != BreakerClosed && s != BreakerOpen && s != BreakerHalfOpen {
+		t.Fatalf("corrupt state %v", s)
+	}
+	// Whatever state the hammer left, recovery must still work.
+	clk.Advance(2 * time.Second)
+	for i := 0; i < 8; i++ {
+		if _, err := b.Allow(); err == nil {
+			b.Record(false)
+		}
+		clk.Advance(2 * time.Second)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after recovery = %v, want closed", got)
+	}
+}

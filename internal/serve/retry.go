@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"time"
+
+	"repro/internal/route"
+)
+
+// RetryPolicy is the per-request retry/backoff policy of the daemon.
+// Transient failure classes are retried with capped exponential backoff plus
+// full jitter; permanent classes fail fast — retrying a proven dead end
+// only burns the worker slot the admission controller just granted.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of routing attempts (1 = no retry).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; attempt k waits up to
+	// BaseDelay * 2^(k-1), capped at MaxDelay, jittered uniformly down.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth.
+	MaxDelay time.Duration
+	// Seed drives the jitter; every delay is a pure function of
+	// (Seed, requestID, attempt), so retry schedules are reproducible in
+	// tests and across restarts with a pinned seed.
+	Seed uint64
+}
+
+// withDefaults fills unset fields with serviceable defaults.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 500 * time.Millisecond
+	}
+	return p
+}
+
+// Transient reports whether a failure class is worth retrying. Deadline
+// cuts (the budget may simply have been unlucky against a slow region) and
+// crashed targets under a fault plan (retries re-draw the plan under a
+// salted seed, modelling churned-but-recovering vertices) are transient;
+// dead ends and truncations are definitive protocol outcomes, and
+// cancellation means the server is draining.
+func Transient(f route.Failure) bool {
+	return f == route.FailDeadline || f == route.FailCrashedTarget
+}
+
+// Backoff returns the delay before retry attempt `attempt` (1-based: the
+// delay between attempt k and attempt k+1 is Backoff(requestID, k)). The
+// exponential base doubles per attempt and is capped at MaxDelay; full
+// jitter then draws uniformly from [cap/2, cap], so concurrent retriers
+// decorrelate without ever collapsing the wait to zero. The draw is a pure
+// hash of (Seed, requestID, attempt) — no shared RNG, no lock, fully
+// deterministic for a pinned seed.
+func (p RetryPolicy) Backoff(requestID uint64, attempt int) time.Duration {
+	p = p.withDefaults()
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := p.BaseDelay
+	for i := 1; i < attempt && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	// Uniform in [d/2, d): half the spread of classic full jitter, keeping a
+	// floor so a burst of retriers cannot synchronize at zero delay.
+	u := hashFloat(p.Seed, requestID, uint64(attempt))
+	return d/2 + time.Duration(u*float64(d/2))
+}
+
+// hash64 mixes words into one well-distributed 64-bit value (splitmix64
+// finalization), mirroring the pure-hash determinism idiom of package
+// faults.
+func hash64(vals ...uint64) uint64 {
+	x := uint64(0x9e3779b97f4a7c15)
+	for _, v := range vals {
+		x ^= v + 0x9e3779b97f4a7c15 + (x << 6) + (x >> 2)
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		x ^= x >> 31
+	}
+	return x
+}
+
+// hashFloat maps the mixed words to a uniform value in [0, 1).
+func hashFloat(vals ...uint64) float64 {
+	return float64(hash64(vals...)>>11) * 0x1p-53
+}

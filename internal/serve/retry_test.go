@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/route"
+)
+
+// TestTransientClassification pins down which failure classes are worth a
+// retry: engine-inflicted transient classes yes, definitive protocol
+// outcomes and drain-time cancellation no.
+func TestTransientClassification(t *testing.T) {
+	cases := []struct {
+		f    route.Failure
+		want bool
+	}{
+		{route.FailNone, false},
+		{route.FailDeadEnd, false},
+		{route.FailTruncated, false},
+		{route.FailDeadline, true},
+		{route.FailCrashedTarget, true},
+		{route.FailCancelled, false},
+	}
+	for _, c := range cases {
+		if got := Transient(c.f); got != c.want {
+			t.Errorf("Transient(%q) = %v, want %v", c.f, got, c.want)
+		}
+	}
+}
+
+// TestBackoffGrowthAndCap verifies the exponential envelope: attempt k's
+// delay lies in [cap_k/2, cap_k) where cap_k = min(Base*2^(k-1), MaxDelay),
+// so delays grow and then saturate at MaxDelay.
+func TestBackoffGrowthAndCap(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 10, BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, Seed: 42}
+	for attempt := 1; attempt <= 10; attempt++ {
+		env := p.BaseDelay << (attempt - 1)
+		if env > p.MaxDelay || env <= 0 { // <= 0 guards shift overflow
+			env = p.MaxDelay
+		}
+		d := p.Backoff(7, attempt)
+		if d < env/2 || d >= env {
+			t.Errorf("attempt %d: backoff %v outside [%v, %v)", attempt, d, env/2, env)
+		}
+	}
+	// Far past the cap the delay must still be bounded by MaxDelay.
+	if d := p.Backoff(7, 60); d >= p.MaxDelay || d < p.MaxDelay/2 {
+		t.Errorf("attempt 60: backoff %v outside [%v, %v)", d, p.MaxDelay/2, p.MaxDelay)
+	}
+}
+
+// TestBackoffJitterDeterministic verifies the jitter is a pure function of
+// (seed, request, attempt): identical inputs reproduce the schedule,
+// different requests decorrelate.
+func TestBackoffJitterDeterministic(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: time.Second, Seed: 99}
+	for attempt := 1; attempt <= 6; attempt++ {
+		if a, b := p.Backoff(1, attempt), p.Backoff(1, attempt); a != b {
+			t.Fatalf("attempt %d: same inputs gave %v and %v", attempt, a, b)
+		}
+	}
+	// Across 64 request ids at a fixed attempt, jitter must actually vary
+	// (a constant would mean synchronized retry storms).
+	seen := map[time.Duration]bool{}
+	for id := uint64(0); id < 64; id++ {
+		seen[p.Backoff(id, 3)] = true
+	}
+	if len(seen) < 32 {
+		t.Fatalf("only %d distinct delays across 64 requests; jitter too weak", len(seen))
+	}
+	// A different seed shifts the whole schedule.
+	q := p
+	q.Seed = 100
+	same := 0
+	for id := uint64(0); id < 64; id++ {
+		if p.Backoff(id, 3) == q.Backoff(id, 3) {
+			same++
+		}
+	}
+	if same > 4 {
+		t.Fatalf("seeds 99 and 100 agree on %d/64 delays; jitter not seed-driven", same)
+	}
+}
+
+// TestBackoffDefaults verifies the zero policy is serviceable: positive,
+// capped delays.
+func TestBackoffDefaults(t *testing.T) {
+	var p RetryPolicy
+	for attempt := 1; attempt <= 20; attempt++ {
+		d := p.Backoff(0, attempt)
+		if d <= 0 || d > 500*time.Millisecond {
+			t.Fatalf("attempt %d: default backoff %v outside (0, 500ms]", attempt, d)
+		}
+	}
+}

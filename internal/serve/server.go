@@ -1,0 +1,557 @@
+// Package serve is the resilient serving layer of the repository: it turns
+// the batch-oriented routing engine (package core) into a long-running
+// daemon component that answers s→t routing queries over HTTP and degrades
+// gracefully instead of falling over.
+//
+// Every request flows through three guards before it reaches the engine:
+//
+//	request → admission pool → circuit breaker → budgeted engine episode
+//	               │                 │                    │
+//	            429 when          503 while          retry transient
+//	          queue is full     (graph,proto)       failures with
+//	                             is failing         capped backoff
+//
+// The admission Pool bounds concurrency and queue depth, shedding overload
+// as fast 429s. A per-(graph, protocol) Breaker watches the engine's
+// failure classes and fails fast while a pair is unhealthy, with half-open
+// probes to recover. Each admitted request routes under a server-side
+// deadline mapped onto the engine's episode budgets, and transient failure
+// classes (deadline, crashed-target) are retried with capped exponential
+// backoff and deterministic jitter. Graph snapshots hot-swap atomically
+// (POST /admin/swap) without dropping in-flight requests, and Drain lets
+// SIGTERM wait for in-flight episodes before exit. Breaker and pool state
+// are exported through expvar ("smallworld.serve", next to the engine's
+// "smallworld.engine") for /debug/vars scraping.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/girg"
+	"repro/internal/route"
+)
+
+// Config tunes a Server. The zero value serves with sensible defaults.
+type Config struct {
+	// Workers bounds concurrently routing requests (default 4).
+	Workers int
+	// QueueDepth bounds requests waiting for a worker beyond Workers;
+	// everything past Workers+QueueDepth is shed with 429 (default 16).
+	QueueDepth int
+	// RequestTimeout is the server-side deadline of one /route request,
+	// retries and backoff included; each attempt's remaining share is mapped
+	// onto the engine's episode wall-time budget (default 2s).
+	RequestTimeout time.Duration
+	// MaxHops is the per-attempt adjacency-query budget handed to the
+	// engine (default 1 << 20; 0 keeps the default, -1 disables).
+	MaxHops int
+	// Retry is the transient-failure retry policy.
+	Retry RetryPolicy
+	// Breaker tunes the per-(graph, protocol) circuit breakers.
+	Breaker BreakerConfig
+	// RetryAfter is the Retry-After hint attached to 429 responses
+	// (default 1s); opened breakers hint their own remaining open time.
+	RetryAfter time.Duration
+}
+
+// withDefaults fills unset fields with serviceable defaults.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 2 * time.Second
+	}
+	switch {
+	case c.MaxHops == 0:
+		c.MaxHops = 1 << 20
+	case c.MaxHops < 0:
+		c.MaxHops = 0
+	}
+	c.Retry = c.Retry.withDefaults()
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Server is the resilient routing service: a set of named graph snapshots,
+// an admission pool, per-(graph, protocol) circuit breakers, and the HTTP
+// handlers that tie them to the engine.
+type Server struct {
+	cfg  Config
+	pool *Pool
+
+	// graphs is a copy-on-write name→network map: readers load the pointer
+	// once and keep routing on that snapshot even while a swap installs a
+	// successor, which is what makes hot-swap drop-free.
+	graphs atomic.Pointer[map[string]*core.Network]
+
+	breakerMu sync.Mutex
+	breakers  map[string]*Breaker // keyed "graph/protocol"
+
+	// drainMu orders request registration against Drain: handlers register
+	// under RLock, Drain flips the flag under Lock, so no handler can slip
+	// past the draining check and Add to a WaitGroup that is already being
+	// waited on.
+	drainMu  sync.RWMutex
+	inflight sync.WaitGroup
+	draining atomic.Bool
+	reqID    atomic.Uint64
+	swaps    atomic.Int64
+}
+
+// DefaultGraph is the graph name "" resolves to.
+const DefaultGraph = "default"
+
+// New builds a Server with cfg. Install at least one snapshot with
+// AddNetwork before serving, or /readyz stays 503.
+func New(cfg Config) *Server {
+	c := cfg.withDefaults()
+	s := &Server{
+		cfg:      c,
+		pool:     NewPool(c.Workers, c.QueueDepth),
+		breakers: map[string]*Breaker{},
+	}
+	empty := map[string]*core.Network{}
+	s.graphs.Store(&empty)
+	activeServer.Store(s)
+	return s
+}
+
+// AddNetwork atomically installs (or replaces) the named graph snapshot.
+// In-flight requests keep the snapshot they resolved; only new requests see
+// the replacement — hot-swap without a drop.
+func (s *Server) AddNetwork(name string, nw *core.Network) {
+	if name == "" {
+		name = DefaultGraph
+	}
+	for {
+		old := s.graphs.Load()
+		next := make(map[string]*core.Network, len(*old)+1)
+		for k, v := range *old {
+			next[k] = v
+		}
+		next[name] = nw
+		if s.graphs.CompareAndSwap(old, &next) {
+			return
+		}
+	}
+}
+
+// Network resolves a named snapshot ("" = default).
+func (s *Server) Network(name string) (*core.Network, bool) {
+	if name == "" {
+		name = DefaultGraph
+	}
+	nw, ok := (*s.graphs.Load())[name]
+	return nw, ok
+}
+
+// GraphNames lists the installed snapshot names, sorted.
+func (s *Server) GraphNames() []string {
+	m := *s.graphs.Load()
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// breaker returns the circuit breaker guarding one (graph, protocol) pair,
+// creating it on first use.
+func (s *Server) breaker(graph, proto string) *Breaker {
+	key := graph + "/" + proto
+	s.breakerMu.Lock()
+	defer s.breakerMu.Unlock()
+	b, ok := s.breakers[key]
+	if !ok {
+		b = NewBreaker(s.cfg.Breaker)
+		s.breakers[key] = b
+	}
+	return b
+}
+
+// Breaker exposes the (graph, protocol) breaker for tests and admin
+// tooling, creating it on first use like the request path does.
+func (s *Server) Breaker(graph, proto string) *Breaker {
+	if graph == "" {
+		graph = DefaultGraph
+	}
+	if proto == "" {
+		proto = string(core.ProtoGreedy)
+	}
+	return s.breaker(graph, proto)
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// beginRequest registers one in-flight request unless the server is
+// draining. Registration happens under drainMu so it cannot race Drain's
+// flag flip and WaitGroup wait.
+func (s *Server) beginRequest() bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+// Drain flips the server into draining mode — /readyz turns 503 so load
+// balancers stop sending traffic, new /route requests are rejected — and
+// waits for every in-flight request to finish or ctx to expire. It is the
+// SIGTERM half of graceful shutdown; pair it with http.Server.Shutdown,
+// which closes listeners and waits for handlers at the connection level.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	s.draining.Store(true)
+	s.drainMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain interrupted with requests in flight: %w", ctx.Err())
+	}
+}
+
+// Handler returns the daemon's HTTP handler:
+//
+//	POST /route       one routing query (RouteRequest → RouteResponse)
+//	GET  /healthz     liveness (200 while the process runs)
+//	GET  /readyz      readiness (503 while draining or graphless)
+//	GET  /debug/vars  expvar (smallworld.engine + smallworld.serve)
+//	POST /admin/swap  generate + atomically install a graph snapshot
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/route", s.handleRoute)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", s.handleReady)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/admin/swap", s.handleSwap)
+	return mux
+}
+
+// handleReady is the readiness probe: ready means not draining and at least
+// one snapshot installed.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	case len(*s.graphs.Load()) == 0:
+		http.Error(w, "no graph loaded", http.StatusServiceUnavailable)
+	default:
+		fmt.Fprintln(w, "ok")
+	}
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes an ErrorResponse, attaching Retry-After (seconds,
+// rounded up) when retryAfter > 0.
+func writeError(w http.ResponseWriter, status int, retryAfter time.Duration, format string, args ...interface{}) {
+	resp := ErrorResponse{Error: fmt.Sprintf(format, args...)}
+	if retryAfter > 0 {
+		secs := int64((retryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		resp.RetryAfterMs = retryAfter.Milliseconds()
+	}
+	writeJSON(w, status, resp)
+}
+
+// handleRoute serves POST /route: admission, breaker, then budgeted engine
+// episodes with transient-failure retries.
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, 0, "POST required")
+		return
+	}
+	// Count the request as in-flight from here: Drain waits for the whole
+	// handler, so an admitted episode always gets to write its response.
+	if !s.beginRequest() {
+		writeError(w, http.StatusServiceUnavailable, s.cfg.RetryAfter, "server draining")
+		return
+	}
+	defer s.inflight.Done()
+
+	var req RouteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, 0, "bad request body: %v", err)
+		return
+	}
+	graphName := req.Graph
+	if graphName == "" {
+		graphName = DefaultGraph
+	}
+	nw, ok := s.Network(graphName)
+	if !ok {
+		writeError(w, http.StatusNotFound, 0, "unknown graph %q (installed: %s)",
+			graphName, strings.Join(s.GraphNames(), ", "))
+		return
+	}
+	protoName := req.Protocol
+	if protoName == "" {
+		protoName = string(core.ProtoGreedy)
+	}
+	if _, err := core.Lookup(protoName); err != nil {
+		writeError(w, http.StatusNotFound, 0, "%v", err)
+		return
+	}
+	if req.S < 0 || req.S >= nw.Graph.N() || req.T < 0 || req.T >= nw.Graph.N() {
+		writeError(w, http.StatusBadRequest, 0, "vertex pair (%d, %d) out of range (n = %d)",
+			req.S, req.T, nw.Graph.N())
+		return
+	}
+	// Validate the fault specs before spending a worker slot on them.
+	if _, err := faults.NewPlan(0, req.Faults...); err != nil {
+		writeError(w, http.StatusBadRequest, 0, "%v", err)
+		return
+	}
+
+	// Admission: bounded concurrency, bounded queue, fast shedding.
+	if err := s.pool.Acquire(r.Context()); err != nil {
+		if err == ErrOverloaded {
+			writeError(w, http.StatusTooManyRequests, s.cfg.RetryAfter, "overloaded: %d in flight, %d queued",
+				s.pool.InFlight(), s.pool.Waiting())
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, 0, "cancelled while queued: %v", err)
+		return
+	}
+	defer s.pool.Release()
+
+	// Circuit breaker: fail fast while this (graph, protocol) is unhealthy.
+	br := s.breaker(graphName, protoName)
+	if retryIn, err := br.Allow(); err != nil {
+		writeError(w, http.StatusServiceUnavailable, retryIn, "circuit breaker open for %s/%s",
+			graphName, protoName)
+		return
+	}
+
+	requestID := s.reqID.Add(1)
+	faultSeed := req.FaultSeed
+	if faultSeed == 0 {
+		faultSeed = hash64(requestID, uint64(req.S)<<32|uint64(uint32(req.T)))
+	}
+	start := time.Now()
+	deadline := start.Add(s.cfg.RequestTimeout)
+
+	var (
+		res      route.Result
+		epErr    error
+		attempts int
+	)
+	for attempt := 1; ; attempt++ {
+		attempts = attempt
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			res = route.Result{Path: []int{req.S}, Unique: 1, Stuck: -1, Failure: route.FailDeadline}
+			break
+		}
+		var plan *faults.Plan
+		if len(req.Faults) > 0 {
+			// Salt the plan seed per attempt: transient fault draws (and the
+			// crash sets of churn models) re-roll on retry, which is what
+			// makes crashed-target a retryable class at all.
+			plan, epErr = faults.NewPlan(hash64(faultSeed, uint64(attempt)), req.Faults...)
+			if epErr != nil {
+				break
+			}
+		}
+		res, epErr = nw.RouteEpisode(core.EpisodeConfig{
+			Protocol: core.Protocol(protoName),
+			S:        req.S, T: req.T,
+			MaxHops: s.cfg.MaxHops,
+			Timeout: remaining,
+			Faults:  plan,
+			Episode: attempt,
+		})
+		if epErr != nil || res.Success || !Transient(res.Failure) {
+			break
+		}
+		if attempt >= s.cfg.Retry.MaxAttempts {
+			break
+		}
+		// Back off before the next attempt, but never past the request
+		// deadline or the client's departure.
+		wait := s.cfg.Retry.Backoff(requestID, attempt)
+		if rem := time.Until(deadline); wait > rem {
+			wait = rem
+		}
+		if wait > 0 {
+			t := time.NewTimer(wait)
+			select {
+			case <-t.C:
+			case <-r.Context().Done():
+				t.Stop()
+				writeError(w, http.StatusServiceUnavailable, 0, "client gone during backoff: %v", r.Context().Err())
+				br.Record(true)
+				return
+			}
+		}
+	}
+
+	// The breaker watches service health, not query answers: engine errors
+	// and engine-inflicted failure classes count against it, while
+	// definitive protocol outcomes (delivered, dead-end, truncated) count
+	// as healthy service.
+	br.Record(epErr != nil || Transient(res.Failure) || res.Failure == route.FailCancelled)
+
+	if epErr != nil {
+		writeError(w, http.StatusInternalServerError, 0, "%v", epErr)
+		return
+	}
+	resp := RouteResponse{
+		Graph:    graphName,
+		Protocol: protoName,
+		S:        req.S, T: req.T,
+		Success:   res.Success,
+		Failure:   string(res.Failure),
+		Moves:     res.Moves,
+		Unique:    res.Unique,
+		Attempts:  attempts,
+		ElapsedMs: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	if req.IncludePath {
+		resp.Path = res.Path
+	}
+	writeJSON(w, StatusFor(res.Failure), resp)
+}
+
+// handleSwap serves POST /admin/swap: generate a fresh GIRG snapshot and
+// atomically install it. Generation happens before the swap, so requests
+// never see a half-built graph, and in-flight requests keep routing on the
+// snapshot they already resolved.
+func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, 0, "POST required")
+		return
+	}
+	var req SwapRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, 0, "bad request body: %v", err)
+		return
+	}
+	if req.N < 2 {
+		writeError(w, http.StatusBadRequest, 0, "n must be >= 2 (got %g)", req.N)
+		return
+	}
+	p := girg.DefaultParams(req.N)
+	p.FixedN = true
+	if req.Beta != 0 {
+		p.Beta = req.Beta
+	}
+	if req.Alpha != 0 {
+		p.Alpha = req.Alpha
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	nw, err := core.NewGIRG(p, seed, girg.Options{})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, 0, "generate: %v", err)
+		return
+	}
+	name := req.Graph
+	if name == "" {
+		name = DefaultGraph
+	}
+	s.AddNetwork(name, nw)
+	s.swaps.Add(1)
+	writeJSON(w, http.StatusOK, SwapResponse{
+		Graph:    name,
+		Label:    nw.Label,
+		Vertices: nw.Graph.N(),
+		Edges:    nw.Graph.M(),
+	})
+}
+
+// ServeStats is the expvar snapshot of the serving layer, published as
+// "smallworld.serve" next to the engine's "smallworld.engine".
+type ServeStats struct {
+	// Draining reports drain mode.
+	Draining bool
+	// Graphs lists the installed snapshot names.
+	Graphs []string
+	// InFlight / Waiting / Shed / Admitted describe the admission pool.
+	InFlight int
+	Waiting  int
+	Shed     int64
+	Admitted int64
+	// Swaps counts installed snapshots via /admin/swap.
+	Swaps int64
+	// Breakers maps "graph/protocol" to breaker state ("closed", "open",
+	// "half-open") with the cumulative open count in parentheses.
+	Breakers map[string]string
+}
+
+// Stats snapshots the server's serving-layer state.
+func (s *Server) Stats() ServeStats {
+	st := ServeStats{
+		Draining: s.draining.Load(),
+		Graphs:   s.GraphNames(),
+		InFlight: s.pool.InFlight(),
+		Waiting:  s.pool.Waiting(),
+		Shed:     s.pool.Shed(),
+		Admitted: s.pool.Acquired(),
+		Swaps:    s.swaps.Load(),
+		Breakers: map[string]string{},
+	}
+	s.breakerMu.Lock()
+	for key, b := range s.breakers {
+		st.Breakers[key] = fmt.Sprintf("%s (opens=%d)", b.State(), b.Opens())
+	}
+	s.breakerMu.Unlock()
+	return st
+}
+
+// activeServer backs the process-wide expvar export: expvar names are
+// global and publish-once, so the most recently constructed Server is the
+// one /debug/vars reflects (exactly one Server exists in the daemon; tests
+// construct more and read Stats directly).
+var activeServer atomic.Pointer[Server]
+
+func init() {
+	expvar.Publish("smallworld.serve", expvar.Func(func() interface{} {
+		s := activeServer.Load()
+		if s == nil {
+			return nil
+		}
+		return s.Stats()
+	}))
+}
