@@ -1,11 +1,14 @@
 // girgen generates instances of the network models (GIRG, hyperbolic random
 // graph, Kleinberg lattice, Kleinberg continuum) and writes them as
-// attributed graph files or bare edge lists, optionally printing structural
-// statistics.
+// attributed graph files (text or checksummed binary) or bare edge lists,
+// optionally printing structural statistics. Output files are written via a
+// temp file and an atomic rename, so a crash mid-write never leaves a
+// truncated snapshot under the target name.
 //
 // Examples:
 //
 //	girgen -model girg -n 100000 -beta 2.5 -alpha 2 -out g.girg -stats
+//	girgen -model girg -n 100000 -format girgb -out g.girgb
 //	girgen -model hrg -n 20000 -alphaH 0.75 -T 0.5 -format edges -out g.tsv
 //	girgen -model kgrid -L 256 -q 1 -r 2 -stats
 package main
@@ -14,10 +17,12 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"os/signal"
 
+	"repro/internal/atomicio"
 	"repro/internal/girg"
 	"repro/internal/graph"
 	"repro/internal/graphio"
@@ -44,7 +49,7 @@ func runCtx(ctx context.Context, args []string) error {
 	var (
 		model  = fs.String("model", "girg", "model: girg | hrg | kgrid | kcont")
 		out    = fs.String("out", "", "output file (default stdout)")
-		format = fs.String("format", "girg", "output format: girg (attributed) | edges (bare edge list) | none")
+		format = fs.String("format", "girg", "output format: girg (attributed text) | girgb (checksummed binary) | edges (bare edge list) | none")
 		stats  = fs.Bool("stats", false, "print structural statistics to stderr")
 		seed   = fs.Uint64("seed", 1, "random seed")
 
@@ -131,7 +136,6 @@ func runCtx(ctx context.Context, args []string) error {
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("interrupted after generating %s instance: no output written", *model)
 	}
-	var err error
 
 	if *stats {
 		s := graph.Summarize(g, 2000, xrand.New(*seed+1))
@@ -142,22 +146,29 @@ func runCtx(ctx context.Context, args []string) error {
 		}
 	}
 
-	var w *os.File = os.Stdout
-	if *out != "" {
-		w, err = os.Create(*out)
-		if err != nil {
-			return err
-		}
-		defer w.Close()
-	}
+	var write func(w io.Writer) error
 	switch *format {
 	case "girg":
-		return graphio.Write(w, g)
+		write = func(w io.Writer) error { return graphio.Write(w, g) }
+	case "girgb":
+		write = func(w io.Writer) error { return graphio.WriteBinary(w, g) }
 	case "edges":
-		return graphio.WriteEdgeList(w, g)
+		write = func(w io.Writer) error { return graphio.WriteEdgeList(w, g) }
 	case "none":
 		return nil
 	default:
 		return fmt.Errorf("unknown format %q", *format)
 	}
+	if *out == "" {
+		return write(os.Stdout)
+	}
+	// Atomic replace: a crash (or a failing disk) mid-write leaves any
+	// existing file untouched instead of half a snapshot under its name.
+	if err := atomicio.WriteFile(*out, write); err != nil {
+		return err
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "wrote %s (fingerprint=%016x)\n", *out, g.Fingerprint())
+	}
+	return nil
 }

@@ -87,3 +87,61 @@ func TestRunStats(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunBinaryFormat(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.girgb")
+	if err := run([]string{"-n", "300", "-format", "girgb", "-out", out, "-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graphio.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 300 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// Same instance through the text format: one graph, two encodings.
+	txt := filepath.Join(t.TempDir(), "g.girg")
+	if err := run([]string{"-n", "300", "-out", txt, "-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := graphio.ReadFile(txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Fingerprint() != g2.Fingerprint() {
+		t.Fatal("girgb and girg disagree about the same seed")
+	}
+}
+
+// TestRunAtomicOutput: a failed run must leave an existing output file
+// untouched — girgen writes via temp file + rename.
+func TestRunAtomicOutput(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "g.girg")
+	if err := os.WriteFile(out, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown model: generation fails before any write.
+	if err := run([]string{"-model", "nope", "-out", out}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	data, err := os.ReadFile(out)
+	if err != nil || string(data) != "precious" {
+		t.Fatalf("output clobbered by failed run: %q, %v", data, err)
+	}
+	// A successful run replaces it, leaving no temp files behind.
+	if err := run([]string{"-n", "200", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "g.girg" {
+		t.Fatalf("stray files after atomic write: %v", entries)
+	}
+	if _, err := graphio.ReadFile(out); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -15,9 +15,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/expt"
 	"repro/internal/faults"
 )
@@ -46,9 +48,14 @@ func runCtx(ctx context.Context, args []string) error {
 		// Usage text derives from the fault-model registry, like -proto on
 		// cmd/route derives from the protocol registry.
 		models = fs.String("fault-models", "", "comma-separated fault models for the E16 chaos sweep (default: its built-in set); registered: "+strings.Join(faults.RegisteredSorted(), " | "))
+		ckdir  = fs.String("checkpoint", "", "checkpoint directory: journal completed sweep batches there so a crashed run can -resume (checkpoint-aware experiments only)")
+		resume = fs.Bool("resume", false, "resume from the journal in -checkpoint, skipping finished batches; the resumed table is bit-identical to an uninterrupted run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resume && *ckdir == "" {
+		return fmt.Errorf("-resume requires -checkpoint DIR")
 	}
 	var faultModels []string
 	if *models != "" {
@@ -79,7 +86,32 @@ func runCtx(ctx context.Context, args []string) error {
 	}
 	for _, e := range selected {
 		start := time.Now()
+		// One journal per experiment, its manifest key bound to everything
+		// that shapes the sweep's results: resuming with different
+		// parameters fails loudly instead of mixing incompatible batches.
+		if *ckdir != "" {
+			dir := filepath.Join(*ckdir, e.ID)
+			if !*resume && ckpt.Exists(dir) {
+				return fmt.Errorf("%s: checkpoint journal already exists in %s; pass -resume to continue it or remove the directory", e.ID, dir)
+			}
+			key := fmt.Sprintf("repro-ckpt-v1 e=%s seed=%d scale=%g fault-models=%s",
+				e.ID, *seed, *scale, strings.Join(faultModels, ","))
+			j, err := ckpt.Open(dir, key)
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			if *resume && j.Reused() > 0 {
+				fmt.Fprintf(os.Stderr, "smallworld: %s: resuming, %d journaled batches reused\n", e.ID, j.Reused())
+			}
+			cfg.Checkpoint = j
+		}
 		table, err := e.Run(cfg)
+		if cfg.Checkpoint != nil {
+			if cerr := cfg.Checkpoint.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+			cfg.Checkpoint = nil
+		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}

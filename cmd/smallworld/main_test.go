@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
 
 func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
@@ -61,5 +66,81 @@ func TestRunCaseInsensitive(t *testing.T) {
 	}
 	if err := run([]string{"-e", "e5", "-scale", "0.02"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected into a buffer.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var b strings.Builder
+		io.Copy(&b, r)
+		done <- b.String()
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	return <-done, runErr
+}
+
+func TestResumeRequiresCheckpoint(t *testing.T) {
+	if err := run([]string{"-resume", "-e", "E5"}); err == nil {
+		t.Fatal("-resume accepted without -checkpoint")
+	}
+}
+
+// TestRunCheckpointResume drives the full CLI contract: a checkpointed run
+// leaves a journal, rerunning without -resume refuses to touch it, resuming
+// replays it, and every variant prints the same table (JSON output carries
+// no timing, so byte equality is meaningful).
+func TestRunCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the chaos sweep")
+	}
+	dir := t.TempDir()
+	base := []string{"-e", "E16", "-scale", "0.02", "-seed", "3", "-fault-models", "edge-drop", "-format", "json"}
+
+	plain, err := captureStdout(t, func() error { return run(base) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := captureStdout(t, func() error { return run(append([]string{"-checkpoint", dir}, base...)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != plain {
+		t.Fatal("checkpointed run output differs from plain run")
+	}
+
+	// The journal now exists: a second run must refuse without -resume.
+	if _, err := captureStdout(t, func() error { return run(append([]string{"-checkpoint", dir}, base...)) }); err == nil {
+		t.Fatal("existing journal overwritten without -resume")
+	}
+
+	resumed, err := captureStdout(t, func() error {
+		return run(append([]string{"-checkpoint", dir, "-resume"}, base...))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != plain {
+		t.Fatal("resumed run output differs from plain run")
+	}
+
+	// A journal is bound to its parameters: resuming under a different seed
+	// must fail instead of mixing incompatible batches.
+	other := []string{"-e", "E16", "-scale", "0.02", "-seed", "4", "-fault-models", "edge-drop", "-format", "json"}
+	if _, err := captureStdout(t, func() error {
+		return run(append([]string{"-checkpoint", dir, "-resume"}, other...))
+	}); err == nil {
+		t.Fatal("journal from a different seed accepted")
 	}
 }

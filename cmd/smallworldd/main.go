@@ -13,6 +13,7 @@
 //	curl -s localhost:8080/route -d '{"s": 3, "t": 99, "protocol": "phi-dfs"}'
 //	curl -s localhost:8080/route -d '{"s": 3, "t": 99, "faults": [{"model": "edge-drop", "rate": 0.2}]}'
 //	curl -s localhost:8080/admin/swap -d '{"n": 50000, "seed": 7}'
+//	curl -s localhost:8080/admin/swap -d '{"path": "snap.girgb"}'   # checksum-verified; corrupt files get 422
 package main
 
 import (
@@ -105,7 +106,7 @@ func run(args []string, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
-	log.Printf("serving %s (n=%d, m=%d) on %s", nw.Label, g.N(), g.M(), ln.Addr())
+	log.Printf("serving %s (n=%d, m=%d, fingerprint=%016x) on %s", nw.Label, g.N(), g.M(), g.Fingerprint(), ln.Addr())
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}

@@ -1,0 +1,14 @@
+package atomicio
+
+import (
+	"errors"
+	"syscall"
+)
+
+// ignorableSyncError reports whether a directory fsync failure is expected
+// on this platform rather than a durability problem: some filesystems and
+// OSes (notably network mounts) reject fsync on directory handles with
+// EINVAL or ENOTSUP.
+func ignorableSyncError(err error) bool {
+	return errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP)
+}

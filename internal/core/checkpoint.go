@@ -1,0 +1,135 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/par"
+	"repro/internal/route"
+)
+
+// This file is the crash-safety half of the Milgram engine: when
+// MilgramConfig.Checkpoint is set, RunMilgramCtx executes its episodes in
+// fixed batches, journals each completed batch's results, and replays
+// journaled batches instead of recomputing them. Episodes are pure
+// functions of their global index (pair draws are sequential, fault
+// decisions pure-hash), so a replayed batch is indistinguishable from a
+// recomputed one and a resumed run's final report is bit-identical to an
+// uninterrupted run's.
+
+// episode is the engine's per-routing outcome slot; batches of these are
+// what the checkpoint journal stores.
+type episode struct {
+	done      bool // routed (false only when the batch was cancelled first)
+	success   bool
+	truncated bool
+	failure   route.Failure
+	moves     int
+	stretch   float64 // 0 when not computed or failed
+	path      []int   // retained only for observer replay
+	err       error
+}
+
+// episodeRecord is the journaled form of one completed episode. Fields are
+// JSON with single-letter keys: a batch record is a few KiB, read back
+// only on resume. Paths and errors are deliberately absent — batches with
+// episode errors are never journaled, and observer runs are not
+// checkpointable.
+type episodeRecord struct {
+	Success   bool          `json:"s,omitempty"`
+	Truncated bool          `json:"t,omitempty"`
+	Failure   route.Failure `json:"f,omitempty"`
+	Moves     int           `json:"m,omitempty"`
+	Stretch   float64       `json:"d,omitempty"`
+}
+
+// defaultCheckpointBatch is the episodes-per-record default: small enough
+// that a SIGKILL loses at most a second or two of routing on typical
+// workloads, large enough that journal overhead stays negligible.
+const defaultCheckpointBatch = 64
+
+// runCheckpointedBatches drives the episodes in journal-sized batches.
+// batchErr carries the same semantics as par.ForEachCtx on the plain path
+// (ctx cancellation, contained panics); fatal carries journal and decode
+// failures that must abort the run without a partial report.
+func runCheckpointedBatches(ctx context.Context, cfg MilgramConfig, episodes []episode, runOne func(i int)) (batchErr, fatal error) {
+	size := cfg.CheckpointBatch
+	if size <= 0 {
+		size = defaultCheckpointBatch
+	}
+	ns := cfg.CheckpointKey
+	if ns == "" {
+		ns = "milgram"
+	}
+	for lo := 0; lo < len(episodes); lo += size {
+		hi := min(lo+size, len(episodes))
+		// The batch size is part of the key: a journal written under a
+		// different batching never matches, it is just not reused.
+		key := fmt.Sprintf("%s#%d@%d", ns, lo/size, size)
+		if payload, ok := cfg.Checkpoint.Get(key); ok {
+			if err := decodeBatch(payload, episodes[lo:hi]); err != nil {
+				return nil, fmt.Errorf("core: checkpoint record %q: %w", key, err)
+			}
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return err, nil
+		}
+		if err := par.ForEachCtx(ctx, hi-lo, 0, func(i int) { runOne(lo + i) }); err != nil {
+			return err, nil
+		}
+		for i := lo; i < hi; i++ {
+			if episodes[i].err != nil {
+				// The caller propagates the episode error; an errored batch
+				// is never journaled, so a retry recomputes it.
+				return nil, nil
+			}
+		}
+		payload, err := encodeBatch(episodes[lo:hi])
+		if err != nil {
+			return nil, fmt.Errorf("core: checkpoint record %q: %w", key, err)
+		}
+		if err := cfg.Checkpoint.Put(key, payload); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	return nil, nil
+}
+
+// encodeBatch serializes a slice of completed episodes.
+func encodeBatch(eps []episode) ([]byte, error) {
+	recs := make([]episodeRecord, len(eps))
+	for i, ep := range eps {
+		recs[i] = episodeRecord{
+			Success:   ep.success,
+			Truncated: ep.truncated,
+			Failure:   ep.failure,
+			Moves:     ep.moves,
+			Stretch:   ep.stretch,
+		}
+	}
+	return json.Marshal(recs)
+}
+
+// decodeBatch fills eps from a journaled batch record.
+func decodeBatch(payload []byte, eps []episode) error {
+	var recs []episodeRecord
+	if err := json.Unmarshal(payload, &recs); err != nil {
+		return err
+	}
+	if len(recs) != len(eps) {
+		return fmt.Errorf("holds %d episodes, want %d (journal from a different configuration?)", len(recs), len(eps))
+	}
+	for i, r := range recs {
+		eps[i] = episode{
+			done:      true,
+			success:   r.Success,
+			truncated: r.Truncated,
+			failure:   r.Failure,
+			moves:     r.Moves,
+			stretch:   r.Stretch,
+		}
+	}
+	return nil
+}

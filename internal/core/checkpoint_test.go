@@ -1,0 +1,163 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/faults"
+	"repro/internal/girg"
+	"repro/internal/route"
+)
+
+func checkpointNetwork(t *testing.T) *Network {
+	t.Helper()
+	p := girg.DefaultParams(500)
+	p.FixedN = true
+	nw, err := NewGIRG(p, 11, girg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func openJournal(t *testing.T, dir string) *ckpt.Journal {
+	t.Helper()
+	j, err := ckpt.Open(dir, "core-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j
+}
+
+// TestCheckpointedMatchesPlain: journaling must not change the report — an
+// uninterrupted checkpointed run and a plain run are bit-identical.
+func TestCheckpointedMatchesPlain(t *testing.T) {
+	nw := checkpointNetwork(t)
+	cfg := MilgramConfig{Pairs: 120, Seed: 5, ComputeStretch: true}
+	plain, err := RunMilgram(nw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Checkpoint = openJournal(t, t.TempDir())
+	cfg.CheckpointBatch = 16
+	ckpted, err := RunMilgram(nw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, ckpted) {
+		t.Fatalf("checkpointed run differs from plain run:\nplain:  %+v\nckpted: %+v", plain, ckpted)
+	}
+}
+
+// TestCheckpointResumeBitIdentical is the crash-resume contract: cancel a
+// checkpointed run mid-flight, resume it with the same journal, and the
+// final report must equal an uninterrupted run's bit for bit.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	nw := checkpointNetwork(t)
+	plan, err := faults.NewPlan(99, faults.Spec{Model: "edge-drop", Rate: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := MilgramConfig{Pairs: 160, Seed: 7, Faults: plan, ComputeStretch: true}
+
+	want, err := RunMilgram(nw, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	// First attempt: cancel once a couple of batches are in. The objective
+	// factory runs once per episode, so cancelling from it cuts the run off
+	// deterministically enough to leave the journal part-filled.
+	j := openJournal(t, dir)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started atomic.Int64
+	interrupted := base
+	interrupted.Checkpoint = j
+	interrupted.CheckpointBatch = 16
+	interrupted.Objective = func(tgt int) route.Objective {
+		if started.Add(1) == 40 {
+			cancel()
+		}
+		return nw.NewObjective(tgt)
+	}
+	rep, err := RunMilgramCtx(ctx, nw, interrupted)
+	if err == nil {
+		t.Fatal("interrupted run returned no error")
+	}
+	if !rep.Partial {
+		t.Fatalf("interrupted run not marked partial: %+v", rep)
+	}
+	reused := j.Len()
+	if reused == 0 {
+		t.Fatal("no batches journaled before cancellation")
+	}
+	if reused >= 160/16 {
+		t.Fatalf("all %d batches journaled; cancellation landed too late to test resume", reused)
+	}
+	j.Close()
+
+	// Resume: same configuration, same journal, fresh context. The default
+	// objective is back in place — the counting wrapper above only existed
+	// to trigger the cancellation.
+	j2 := openJournal(t, dir)
+	resumed := base
+	resumed.Checkpoint = j2
+	resumed.CheckpointBatch = 16
+	got, err := RunMilgram(nw, resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("resumed report differs from uninterrupted run:\nwant: %+v\ngot:  %+v", want, got)
+	}
+	if j2.Reused() != reused {
+		t.Fatalf("resume replayed %d records, journal held %d", j2.Reused(), reused)
+	}
+}
+
+// TestCheckpointDifferentBatchSizeRecomputes: a journal written under a
+// different batch size is simply not reused — the run recomputes and still
+// matches the plain report.
+func TestCheckpointDifferentBatchSizeRecomputes(t *testing.T) {
+	nw := checkpointNetwork(t)
+	base := MilgramConfig{Pairs: 64, Seed: 3, ComputeStretch: true}
+	want, err := RunMilgram(nw, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	first := base
+	first.Checkpoint = openJournal(t, dir)
+	first.CheckpointBatch = 16
+	if _, err := RunMilgram(nw, first); err != nil {
+		t.Fatal(err)
+	}
+	second := base
+	second.Checkpoint = openJournal(t, dir)
+	second.CheckpointBatch = 32
+	got, err := RunMilgram(nw, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("mismatched-batch-size run differs from plain run")
+	}
+}
+
+func TestCheckpointRejectsObserver(t *testing.T) {
+	nw := checkpointNetwork(t)
+	cfg := MilgramConfig{
+		Pairs:      4,
+		Checkpoint: openJournal(t, t.TempDir()),
+		Observer:   route.ObserverFunc(func(route.MoveEvent) {}),
+	}
+	if _, err := RunMilgram(nw, cfg); err == nil {
+		t.Fatal("observer + checkpoint accepted")
+	}
+}

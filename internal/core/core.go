@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/faults"
 	"repro/internal/girg"
 	"repro/internal/graph"
@@ -266,6 +267,22 @@ type MilgramConfig struct {
 	// Observer retains every episode's path until replay — use it for
 	// analysis runs, not for the largest benchmark batches.
 	Observer route.Observer
+	// Checkpoint, when non-nil, makes the run crash-safe: episodes execute
+	// in fixed batches whose results are journaled as they complete, and
+	// batches the journal already holds are replayed instead of recomputed.
+	// Because episodes are pure functions of their index, a killed run that
+	// resumes with the same configuration and journal produces a report
+	// bit-identical to an uninterrupted one. Incompatible with Observer
+	// (episode paths are not journaled). See package ckpt.
+	Checkpoint *ckpt.Journal
+	// CheckpointKey namespaces this run's records inside the journal — set
+	// it to the sweep-cell id when many RunMilgram calls share one journal.
+	// Empty means "milgram".
+	CheckpointKey string
+	// CheckpointBatch is the number of episodes per journal record
+	// (default 64): the most work a crash can lose per run, and the
+	// granularity at which a resume skips ahead.
+	CheckpointBatch int
 }
 
 // MilgramReport aggregates a batch routing experiment.
@@ -321,6 +338,9 @@ func RunMilgramCtx(ctx context.Context, nw *Network, cfg MilgramConfig) (Milgram
 	if cfg.Pairs <= 0 {
 		return MilgramReport{}, fmt.Errorf("core: non-positive pair count %d", cfg.Pairs)
 	}
+	if cfg.Checkpoint != nil && cfg.Observer != nil {
+		return MilgramReport{}, fmt.Errorf("core: checkpointed runs do not support observers (episode paths are not journaled)")
+	}
 	proto, err := resolve(cfg.Protocol)
 	if err != nil {
 		return MilgramReport{}, err
@@ -365,18 +385,8 @@ func RunMilgramCtx(ctx context.Context, nw *Network, cfg MilgramConfig) (Milgram
 	bound := cfg.Faults.Bind(nw.Graph)
 
 	// Route every pair; episodes are deterministic and independent.
-	type episode struct {
-		done      bool // routed (false only when the batch was cancelled first)
-		success   bool
-		truncated bool
-		failure   route.Failure
-		moves     int
-		stretch   float64 // 0 when not computed or failed
-		path      []int   // retained only for observer replay
-		err       error
-	}
 	episodes := make([]episode, len(pairs))
-	batchErr := par.ForEachCtx(ctx, len(pairs), 0, func(i int) {
+	runOne := func(i int) {
 		p := pairs[i]
 		eg, eobj := route.Graph(nw.Graph), objective(p.t)
 		if !bound.Empty() {
@@ -408,7 +418,17 @@ func RunMilgramCtx(ctx context.Context, nw *Network, cfg MilgramConfig) (Milgram
 			}
 		}
 		episodes[i] = ep
-	})
+	}
+	var batchErr error
+	if cfg.Checkpoint == nil {
+		batchErr = par.ForEachCtx(ctx, len(pairs), 0, runOne)
+	} else {
+		var fatal error
+		batchErr, fatal = runCheckpointedBatches(ctx, cfg, episodes, runOne)
+		if fatal != nil {
+			return MilgramReport{}, fatal
+		}
+	}
 	// A panic that escaped an episode (a buggy fault model or objective
 	// factory; protocol panics are already converted to episode errors) was
 	// contained by par: fail only this batch, with the episode named.

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/ckpt"
 )
 
 // Config controls the cost of an experiment run.
@@ -30,6 +32,14 @@ type Config struct {
 	// validated against the faults registry when the sweep builds its plans,
 	// so an unknown name fails with the registered list.
 	FaultModels []string
+	// Checkpoint, when non-nil, makes checkpoint-aware experiments (the
+	// long sweeps: E16) crash-safe: each sweep cell journals its completed
+	// episode batches through the engine, and a resumed run replays them
+	// to produce a table bit-identical to an uninterrupted run. The journal
+	// must be bound (via its manifest key) to this run's id, seed, scale
+	// and fault-model set — cmd/smallworld takes care of that. Experiments
+	// that do not checkpoint ignore it.
+	Checkpoint *ckpt.Journal
 }
 
 // Context returns the run's context, defaulting to context.Background().

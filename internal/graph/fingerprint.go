@@ -1,0 +1,46 @@
+package graph
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// Fingerprint digests the graph's entire content — sizes, model
+// parameters, weights, positions, adjacency — into 64 bits (FNV-1a). Two
+// graphs with equal fingerprints are, for all practical purposes, the same
+// snapshot: the serving layer logs it when installing snapshots and the
+// durability tests use it to assert that round-trips and resumed runs
+// reproduce graphs bit-for-bit.
+func (g *Graph) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(g.n))
+	put(uint64(len(g.adj)))
+	put(math.Float64bits(g.intensity))
+	put(math.Float64bits(g.wmin))
+	if g.pos != nil {
+		put(uint64(g.pos.Space().Dim()))
+		for _, c := range g.pos.Raw() {
+			put(math.Float64bits(c))
+		}
+	} else {
+		put(0)
+	}
+	if g.weights != nil {
+		for _, w := range g.weights {
+			put(math.Float64bits(w))
+		}
+	}
+	for _, o := range g.offsets {
+		put(uint64(uint32(o)))
+	}
+	for _, v := range g.adj {
+		put(uint64(uint32(v)))
+	}
+	return h.Sum64()
+}

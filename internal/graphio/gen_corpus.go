@@ -1,0 +1,89 @@
+//go:build ignore
+
+// gen_corpus regenerates the committed FuzzRead seed corpus under
+// internal/graphio/testdata/fuzz/FuzzRead: valid text and binary snapshots
+// of a small attributed graph plus truncated and bit-flipped variants, in
+// the "go test fuzz v1" corpus-file encoding. Run from the repo root:
+//
+//	go run ./internal/graphio/gen_corpus.go
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/graph"
+	"repro/internal/graphio"
+	"repro/internal/torus"
+)
+
+func main() {
+	g := corpusGraph()
+	var text, bin bytes.Buffer
+	if err := graphio.Write(&text, g); err != nil {
+		log.Fatal(err)
+	}
+	if err := graphio.WriteBinary(&bin, g); err != nil {
+		log.Fatal(err)
+	}
+
+	seeds := map[string][]byte{
+		"valid-text":   text.Bytes(),
+		"valid-binary": bin.Bytes(),
+	}
+	for name, src := range map[string][]byte{"text": text.Bytes(), "binary": bin.Bytes()} {
+		seeds[name+"-truncated"] = src[:len(src)/2]
+		flip := bytes.Clone(src)
+		flip[len(flip)/2] ^= 0x40
+		seeds[name+"-bitflip"] = flip
+		seeds[name+"-trailing"] = append(bytes.Clone(src), " x"...)
+	}
+	seeds["huge-header-text"] = []byte("girg 1000000000 999999999 2 1 1\n")
+	seeds["huge-header-binary"] = []byte{'G', 'I', 'R', 'B', 1, 0, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}
+
+	dir := filepath.Join("internal", "graphio", "testdata", "fuzz", "FuzzRead")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for name, data := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data)))
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("wrote %d seeds to %s\n", len(seeds), dir)
+}
+
+// corpusGraph mirrors the fuzz test's helper of the same name: the
+// deterministic toy graph every seed derives from.
+func corpusGraph() *graph.Graph {
+	const n = 5
+	space, err := torus.NewSpace(2)
+	if err != nil {
+		panic(err)
+	}
+	coords := make([]float64, 2*n)
+	weights := make([]float64, n)
+	for v := 0; v < n; v++ {
+		coords[2*v] = float64(v) / n
+		coords[2*v+1] = float64(n-v) / (n + 1)
+		weights[v] = 1 + float64(v)/2
+	}
+	pos, err := torus.NewPositionsRaw(space, coords)
+	if err != nil {
+		panic(err)
+	}
+	b, err := graph.NewBuilder(n, pos, weights, float64(n), 1)
+	if err != nil {
+		panic(err)
+	}
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 4)
+	b.AddEdge(3, 4)
+	return b.Finish()
+}

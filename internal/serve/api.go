@@ -70,12 +70,19 @@ type ErrorResponse struct {
 	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
 }
 
-// SwapRequest is the body of POST /admin/swap: generate a fresh GIRG
-// snapshot and atomically install it under a graph name without dropping
-// in-flight requests (they keep routing on the snapshot they resolved).
+// SwapRequest is the body of POST /admin/swap: build a snapshot — generate
+// a fresh GIRG, or load a girgen file from disk — and atomically install it
+// under a graph name without dropping in-flight requests (they keep routing
+// on the snapshot they resolved).
 type SwapRequest struct {
 	// Graph names the slot to install into; "" selects "default".
 	Graph string `json:"graph,omitempty"`
+	// Path, when set, loads the snapshot from a girgen file (text or
+	// binary; auto-detected) instead of generating one. The file's
+	// checksums are verified before the swap: a corrupt snapshot is
+	// quarantined with 422 and the installed graph is untouched. N, Seed,
+	// Beta and Alpha are ignored when Path is set.
+	Path string `json:"path,omitempty"`
 	// N is the vertex count of the new GIRG snapshot.
 	N float64 `json:"n"`
 	// Seed drives generation (0 = 1).
@@ -91,6 +98,10 @@ type SwapResponse struct {
 	Label    string `json:"label"`
 	Vertices int    `json:"vertices"`
 	Edges    int    `json:"edges"`
+	// Fingerprint is the structural hash of the installed graph (hex),
+	// the same value girgen logs: operators can check what a swap
+	// installed without re-reading the file.
+	Fingerprint string `json:"fingerprint"`
 }
 
 // StatusFor maps a routing outcome to its HTTP status. Definitive protocol

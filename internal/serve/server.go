@@ -27,9 +27,11 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -40,6 +42,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/girg"
+	"repro/internal/graphio"
 	"repro/internal/route"
 )
 
@@ -114,6 +117,10 @@ type Server struct {
 	draining atomic.Bool
 	reqID    atomic.Uint64
 	swaps    atomic.Int64
+	// quarantined counts swap snapshots rejected by checksum/format
+	// verification — a nonzero value means something is corrupting files on
+	// the path into the daemon.
+	quarantined atomic.Int64
 }
 
 // DefaultGraph is the graph name "" resolves to.
@@ -452,10 +459,12 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, StatusFor(res.Failure), resp)
 }
 
-// handleSwap serves POST /admin/swap: generate a fresh GIRG snapshot and
-// atomically install it. Generation happens before the swap, so requests
-// never see a half-built graph, and in-flight requests keep routing on the
-// snapshot they already resolved.
+// handleSwap serves POST /admin/swap: build a snapshot — generate a fresh
+// GIRG, or load a girgen file when Path is set — and atomically install it.
+// The snapshot is fully built and checksum-verified before the swap, so
+// requests never see a half-built or corrupt graph, and in-flight requests
+// keep routing on the snapshot they already resolved. A file that fails
+// verification is quarantined: 422, the counter ticks, nothing is installed.
 func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, 0, "POST required")
@@ -466,26 +475,49 @@ func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, 0, "bad request body: %v", err)
 		return
 	}
-	if req.N < 2 {
-		writeError(w, http.StatusBadRequest, 0, "n must be >= 2 (got %g)", req.N)
-		return
-	}
-	p := girg.DefaultParams(req.N)
-	p.FixedN = true
-	if req.Beta != 0 {
-		p.Beta = req.Beta
-	}
-	if req.Alpha != 0 {
-		p.Alpha = req.Alpha
-	}
-	seed := req.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	nw, err := core.NewGIRG(p, seed, girg.Options{})
-	if err != nil {
-		writeError(w, http.StatusBadRequest, 0, "generate: %v", err)
-		return
+	var nw *core.Network
+	if req.Path != "" {
+		g, err := graphio.ReadFile(req.Path)
+		if err != nil {
+			var corrupt *graphio.CorruptError
+			if errors.As(err, &corrupt) {
+				s.quarantined.Add(1)
+				writeError(w, http.StatusUnprocessableEntity, 0, "snapshot rejected, not installed: %v", err)
+				return
+			}
+			writeError(w, http.StatusBadRequest, 0, "load: %v", err)
+			return
+		}
+		nw = &core.Network{
+			Graph: g,
+			Label: fmt.Sprintf("file(%s,n=%d)", filepath.Base(req.Path), g.N()),
+			NewObjective: func(t int) route.Objective {
+				return route.NewStandard(g, t)
+			},
+		}
+	} else {
+		if req.N < 2 {
+			writeError(w, http.StatusBadRequest, 0, "n must be >= 2 (got %g)", req.N)
+			return
+		}
+		p := girg.DefaultParams(req.N)
+		p.FixedN = true
+		if req.Beta != 0 {
+			p.Beta = req.Beta
+		}
+		if req.Alpha != 0 {
+			p.Alpha = req.Alpha
+		}
+		seed := req.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		var err error
+		nw, err = core.NewGIRG(p, seed, girg.Options{})
+		if err != nil {
+			writeError(w, http.StatusBadRequest, 0, "generate: %v", err)
+			return
+		}
 	}
 	name := req.Graph
 	if name == "" {
@@ -494,10 +526,11 @@ func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
 	s.AddNetwork(name, nw)
 	s.swaps.Add(1)
 	writeJSON(w, http.StatusOK, SwapResponse{
-		Graph:    name,
-		Label:    nw.Label,
-		Vertices: nw.Graph.N(),
-		Edges:    nw.Graph.M(),
+		Graph:       name,
+		Label:       nw.Label,
+		Vertices:    nw.Graph.N(),
+		Edges:       nw.Graph.M(),
+		Fingerprint: fmt.Sprintf("%016x", nw.Graph.Fingerprint()),
 	})
 }
 
@@ -513,8 +546,10 @@ type ServeStats struct {
 	Waiting  int
 	Shed     int64
 	Admitted int64
-	// Swaps counts installed snapshots via /admin/swap.
-	Swaps int64
+	// Swaps counts installed snapshots via /admin/swap; Quarantined counts
+	// swap files rejected by checksum/format verification.
+	Swaps       int64
+	Quarantined int64
 	// Breakers maps "graph/protocol" to breaker state ("closed", "open",
 	// "half-open") with the cumulative open count in parentheses.
 	Breakers map[string]string
@@ -523,14 +558,15 @@ type ServeStats struct {
 // Stats snapshots the server's serving-layer state.
 func (s *Server) Stats() ServeStats {
 	st := ServeStats{
-		Draining: s.draining.Load(),
-		Graphs:   s.GraphNames(),
-		InFlight: s.pool.InFlight(),
-		Waiting:  s.pool.Waiting(),
-		Shed:     s.pool.Shed(),
-		Admitted: s.pool.Acquired(),
-		Swaps:    s.swaps.Load(),
-		Breakers: map[string]string{},
+		Draining:    s.draining.Load(),
+		Graphs:      s.GraphNames(),
+		InFlight:    s.pool.InFlight(),
+		Waiting:     s.pool.Waiting(),
+		Shed:        s.pool.Shed(),
+		Admitted:    s.pool.Acquired(),
+		Swaps:       s.swaps.Load(),
+		Quarantined: s.quarantined.Load(),
+		Breakers:    map[string]string{},
 	}
 	s.breakerMu.Lock()
 	for key, b := range s.breakers {

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/atomicio"
+	"repro/internal/graphio"
+)
+
+// postSwap marshals req against /admin/swap and decodes whichever body the
+// status implies.
+func postSwap(t *testing.T, url string, req SwapRequest) (*http.Response, SwapResponse, ErrorResponse) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/admin/swap", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ok SwapResponse
+	var bad ErrorResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&ok); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		_ = json.NewDecoder(resp.Body).Decode(&bad)
+	}
+	return resp, ok, bad
+}
+
+// writeSnapshot serializes a test network to path in the binary format the
+// way girgen -format girgb does (atomic write included, for realism).
+func writeSnapshot(t *testing.T, path string, n float64, seed uint64) uint64 {
+	t.Helper()
+	nw := testNetwork(t, n, seed)
+	if err := atomicio.WriteFile(path, func(w io.Writer) error {
+		return graphio.WriteBinary(w, nw.Graph)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return nw.Graph.Fingerprint()
+}
+
+// TestSwapFromFile installs a snapshot loaded from disk and routes on it.
+func TestSwapFromFile(t *testing.T) {
+	s := New(Config{})
+	s.AddNetwork("", testNetwork(t, 400, 11))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	path := filepath.Join(t.TempDir(), "snap.girgb")
+	want := writeSnapshot(t, path, 300, 23)
+
+	resp, sw, _ := postSwap(t, ts.URL, SwapRequest{Path: path})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("swap from file: status %d", resp.StatusCode)
+	}
+	if sw.Vertices != 300 {
+		t.Fatalf("swap installed %d vertices, want 300", sw.Vertices)
+	}
+	if sw.Fingerprint != fingerprintHex(want) {
+		t.Fatalf("swap fingerprint %s, want %s", sw.Fingerprint, fingerprintHex(want))
+	}
+	r, _, _ := postRoute(t, ts.URL, RouteRequest{S: 0, T: 150})
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("route on swapped-in snapshot = %d", r.StatusCode)
+	}
+}
+
+// TestSwapQuarantinesCorruptSnapshot is the corruption gate: a bit-flipped
+// snapshot is rejected with 422, the quarantine counter ticks, and the
+// previously installed graph keeps serving untouched.
+func TestSwapQuarantinesCorruptSnapshot(t *testing.T) {
+	s := New(Config{})
+	nw := testNetwork(t, 400, 11)
+	s.AddNetwork("", nw)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	path := filepath.Join(t.TempDir(), "snap.girgb")
+	writeSnapshot(t, path, 300, 23)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x20
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, _, bad := postSwap(t, ts.URL, SwapRequest{Path: path})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("corrupt swap: status %d, want 422", resp.StatusCode)
+	}
+	if bad.Error == "" {
+		t.Fatal("corrupt swap: empty error body")
+	}
+	if got := s.Stats().Quarantined; got != 1 {
+		t.Fatalf("quarantined = %d, want 1", got)
+	}
+	if s.Stats().Swaps != 0 {
+		t.Fatal("corrupt snapshot counted as an installed swap")
+	}
+	// The old snapshot still serves: vertex 350 only exists in the original
+	// 400-vertex graph, so routing to it proves no replacement happened.
+	r, _, _ := postRoute(t, ts.URL, RouteRequest{S: 0, T: 350})
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("route after quarantined swap = %d, want 200 on the old snapshot", r.StatusCode)
+	}
+	if got, _ := s.Network(""); got != nw {
+		t.Fatal("network pointer changed despite quarantine")
+	}
+}
+
+// TestSwapMissingFile: a nonexistent path is a client error, not corruption.
+func TestSwapMissingFile(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, _, _ := postSwap(t, ts.URL, SwapRequest{Path: filepath.Join(t.TempDir(), "missing.girgb")})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing file: status %d, want 400", resp.StatusCode)
+	}
+	if s.Stats().Quarantined != 0 {
+		t.Fatal("missing file counted as corruption")
+	}
+}
+
+// fingerprintHex mirrors the handler's formatting.
+func fingerprintHex(fp uint64) string {
+	return fmt.Sprintf("%016x", fp)
+}

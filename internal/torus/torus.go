@@ -203,6 +203,16 @@ func NewPositions(space Space, n int) *Positions {
 	return &Positions{space: space, data: make([]float64, n*space.Dim())}
 }
 
+// NewPositionsRaw wraps an existing flat coordinate slice (stride Dim) as a
+// position store without copying; deserializers use it to adopt buffers
+// they already assembled. The slice length must be a multiple of Dim.
+func NewPositionsRaw(space Space, data []float64) (*Positions, error) {
+	if len(data)%space.Dim() != 0 {
+		return nil, fmt.Errorf("torus: raw position data length %d is not a multiple of dim %d", len(data), space.Dim())
+	}
+	return &Positions{space: space, data: data}, nil
+}
+
 // Space returns the underlying space.
 func (p *Positions) Space() Space { return p.space }
 
