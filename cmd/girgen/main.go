@@ -28,6 +28,7 @@ import (
 	"repro/internal/graphio"
 	"repro/internal/hrg"
 	"repro/internal/kleinberg"
+	"repro/internal/obs"
 	"repro/internal/xrand"
 )
 
@@ -73,7 +74,12 @@ func runCtx(ctx context.Context, args []string) error {
 		r     = fs.Float64("r", 2, "kgrid: long-range decay exponent")
 		decay = fs.Float64("decay", 1, "kcont: alpha of the dist^(-2 alpha) law")
 	)
+	logCfg := obs.RegisterLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := logCfg.Setup(os.Stderr)
+	if err != nil {
 		return err
 	}
 
@@ -136,6 +142,8 @@ func runCtx(ctx context.Context, args []string) error {
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("interrupted after generating %s instance: no output written", *model)
 	}
+	logger.Debug("generated", "model", *model, "n", g.N(), "m", g.M(), "seed", *seed,
+		"fingerprint", fmt.Sprintf("%016x", g.Fingerprint()))
 
 	if *stats {
 		s := graph.Summarize(g, 2000, xrand.New(*seed+1))
@@ -168,7 +176,8 @@ func runCtx(ctx context.Context, args []string) error {
 		return err
 	}
 	if *stats {
-		fmt.Fprintf(os.Stderr, "wrote %s (fingerprint=%016x)\n", *out, g.Fingerprint())
+		logger.Info("wrote snapshot", "path", *out, "format", *format,
+			"fingerprint", fmt.Sprintf("%016x", g.Fingerprint()))
 	}
 	return nil
 }

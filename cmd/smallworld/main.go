@@ -7,6 +7,7 @@
 //	smallworld -list
 //	smallworld -e E4                # one experiment at full scale
 //	smallworld -e all -scale 0.1    # quick pass over everything
+//	smallworld -e E4 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -16,12 +17,15 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/ckpt"
 	"repro/internal/expt"
 	"repro/internal/faults"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -50,9 +54,41 @@ func runCtx(ctx context.Context, args []string) error {
 		models = fs.String("fault-models", "", "comma-separated fault models for the E16 chaos sweep (default: its built-in set); registered: "+strings.Join(faults.RegisteredSorted(), " | "))
 		ckdir  = fs.String("checkpoint", "", "checkpoint directory: journal completed sweep batches there so a crashed run can -resume (checkpoint-aware experiments only)")
 		resume = fs.Bool("resume", false, "resume from the journal in -checkpoint, skipping finished batches; the resumed table is bit-identical to an uninterrupted run")
+		cpuOut = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file (go tool pprof)")
+		memOut = fs.String("memprofile", "", "write a heap profile to this file after the sweep")
 	)
+	logCfg := obs.RegisterLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	logger, err := logCfg.Setup(os.Stderr)
+	if err != nil {
+		return err
+	}
+	if *cpuOut != "" {
+		f, err := os.Create(*cpuOut)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memOut != "" {
+		defer func() {
+			f, err := os.Create(*memOut)
+			if err != nil {
+				logger.Error("memprofile", "err", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+				logger.Error("memprofile", "err", err)
+			}
+		}()
 	}
 	if *resume && *ckdir == "" {
 		return fmt.Errorf("-resume requires -checkpoint DIR")
@@ -101,7 +137,7 @@ func runCtx(ctx context.Context, args []string) error {
 				return fmt.Errorf("%s: %w", e.ID, err)
 			}
 			if *resume && j.Reused() > 0 {
-				fmt.Fprintf(os.Stderr, "smallworld: %s: resuming, %d journaled batches reused\n", e.ID, j.Reused())
+				logger.Info("resuming from checkpoint", "experiment", e.ID, "reused_batches", j.Reused())
 			}
 			cfg.Checkpoint = j
 		}

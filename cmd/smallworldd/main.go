@@ -4,14 +4,18 @@
 // (graph, protocol) pairs, retrying transient failures with backoff, and
 // draining in-flight episodes on SIGTERM before exit.
 //
-// Endpoints: POST /route, GET /healthz, GET /readyz, GET /debug/vars,
-// POST /admin/swap (see internal/serve).
+// Endpoints: POST /route, GET /healthz, GET /readyz, GET /metrics,
+// GET /debug/vars, GET /debug/trace, GET /debug/pprof/*, POST /admin/swap
+// (see internal/serve). Every response carries an X-Request-ID header, and
+// the same id labels every structured log line of the request.
 //
 // Examples:
 //
-//	smallworldd -n 100000 &
+//	smallworldd -n 100000 -log-format json -trace-sample 0.01 &
 //	curl -s localhost:8080/route -d '{"s": 3, "t": 99, "protocol": "phi-dfs"}'
 //	curl -s localhost:8080/route -d '{"s": 3, "t": 99, "faults": [{"model": "edge-drop", "rate": 0.2}]}'
+//	curl -s localhost:8080/metrics                                 # Prometheus text exposition
+//	curl -s localhost:8080/debug/trace                             # sampled trajectories, JSONL
 //	curl -s localhost:8080/admin/swap -d '{"n": 50000, "seed": 7}'
 //	curl -s localhost:8080/admin/swap -d '{"path": "snap.girgb"}'   # checksum-verified; corrupt files get 422
 package main
@@ -21,7 +25,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
 	"os"
@@ -29,10 +32,12 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/atomicio"
 	"repro/internal/core"
 	"repro/internal/girg"
 	"repro/internal/graph"
 	"repro/internal/graphio"
+	"repro/internal/obs"
 	"repro/internal/route"
 	"repro/internal/serve"
 )
@@ -60,29 +65,36 @@ func run(args []string, ready chan<- string) error {
 		maxHops = fs.Int("max-hops", 0, "per-attempt adjacency-query budget (0 = engine default, -1 = unlimited)")
 		retries = fs.Int("retries", 0, "total routing attempts per request (0 = 3)")
 		drainT  = fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
+		sample  = fs.Float64("trace-sample", 0, "deterministic trace sampling rate in [0, 1]: sampled requests record per-hop trajectories served on /debug/trace (0 = tracing off)")
+		traceN  = fs.Int("trace-capacity", 0, "completed traces kept for /debug/trace (0 = 64)")
+		traceO  = fs.String("trace-out", "", "write the held traces as JSONL to this file on shutdown")
 	)
+	logCfg := obs.RegisterLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	logger, err := logCfg.Setup(os.Stderr)
+	if err != nil {
+		return err
+	}
 
-	var (
-		g   *graph.Graph
-		err error
-	)
+	var g *graph.Graph
 	if *in != "" {
-		f, err2 := os.Open(*in)
-		if err2 != nil {
-			return err2
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
 		}
 		g, err = graphio.Read(f)
 		f.Close()
+		if err != nil {
+			return err
+		}
 	} else {
 		p := girg.DefaultParams(*n)
 		p.FixedN = true
-		g, err = girg.Generate(p, *seed, girg.Options{})
-	}
-	if err != nil {
-		return err
+		if g, err = girg.Generate(p, *seed, girg.Options{}); err != nil {
+			return err
+		}
 	}
 	nw := &core.Network{
 		Graph: g,
@@ -92,12 +104,24 @@ func run(args []string, ready chan<- string) error {
 		},
 	}
 
+	var tracer *obs.Tracer
+	if *sample > 0 {
+		tracer = obs.NewTracer(obs.TracerConfig{
+			SampleRate: *sample,
+			Seed:       *seed,
+			Capacity:   *traceN,
+			Graph:      serve.DefaultGraph,
+			Now:        time.Now,
+		})
+	}
 	srv := serve.New(serve.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		RequestTimeout: *timeout,
 		MaxHops:        *maxHops,
 		Retry:          serve.RetryPolicy{MaxAttempts: *retries, Seed: *seed},
+		Logger:         logger,
+		Tracer:         tracer,
 	})
 	srv.AddNetwork(serve.DefaultGraph, nw)
 
@@ -106,7 +130,9 @@ func run(args []string, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
-	log.Printf("serving %s (n=%d, m=%d, fingerprint=%016x) on %s", nw.Label, g.N(), g.M(), g.Fingerprint(), ln.Addr())
+	logger.Info("serving", "label", nw.Label, "n", g.N(), "m", g.M(),
+		"fingerprint", fmt.Sprintf("%016x", g.Fingerprint()), "addr", ln.Addr().String(),
+		"workers", *workers, "queue", *queue, "trace_sample", *sample)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -126,11 +152,11 @@ func run(args []string, ready chan<- string) error {
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("shutdown: draining in-flight requests (up to %v)", *drainT)
+	logger.Info("shutdown draining", "drain_timeout", *drainT)
 	dctx, cancel := context.WithTimeout(context.Background(), *drainT)
 	defer cancel()
 	if err := srv.Drain(dctx); err != nil {
-		log.Printf("shutdown: %v", err)
+		logger.Warn("shutdown drain incomplete", "err", err)
 	}
 	if err := hs.Shutdown(dctx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
@@ -138,6 +164,12 @@ func run(args []string, ready chan<- string) error {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	log.Printf("shutdown: clean")
+	if *traceO != "" && tracer != nil {
+		if err := atomicio.WriteFile(*traceO, tracer.WriteJSONL); err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		logger.Info("traces written", "path", *traceO, "held", tracer.Stats().Held)
+	}
+	logger.Info("shutdown clean")
 	return nil
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -12,6 +13,7 @@ import (
 
 	"repro/internal/girg"
 	"repro/internal/graphio"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -36,14 +38,16 @@ func writeTestGraph(t *testing.T) string {
 }
 
 // TestDaemonEndToEnd boots the daemon on an ephemeral port, exercises the
-// HTTP surface, and shuts it down with SIGTERM — the same drain path a
-// process manager uses.
+// HTTP surface — routing, metrics, tracing, profiling — and shuts it down
+// with SIGTERM, the same drain path a process manager uses.
 func TestDaemonEndToEnd(t *testing.T) {
 	path := writeTestGraph(t)
+	traceOut := filepath.Join(t.TempDir(), "trace.jsonl")
 	ready := make(chan string, 1)
 	errc := make(chan error, 1)
 	go func() {
-		errc <- run([]string{"-addr", "127.0.0.1:0", "-in", path, "-workers", "2", "-queue", "2"}, ready)
+		errc <- run([]string{"-addr", "127.0.0.1:0", "-in", path, "-workers", "2", "-queue", "2",
+			"-trace-sample", "1", "-trace-out", traceOut}, ready)
 	}()
 	var base string
 	select {
@@ -82,6 +86,50 @@ func TestDaemonEndToEnd(t *testing.T) {
 	if rr.Attempts < 1 {
 		t.Fatalf("attempts = %d", rr.Attempts)
 	}
+	rid := resp.Header.Get("X-Request-ID")
+	if rid == "" {
+		t.Fatal("/route response carries no X-Request-ID")
+	}
+
+	// Prometheus exposition with engine and serve families.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d, want 200", mresp.StatusCode)
+	}
+	for _, family := range []string{"smallworld_engine_episodes_total", "smallworld_serve_admitted_total"} {
+		if !bytes.Contains(metrics, []byte(family)) {
+			t.Errorf("/metrics missing %s", family)
+		}
+	}
+
+	// The sampled trace of the routed request, tied to its X-Request-ID.
+	tresp, err := http.Get(base + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, _ := io.ReadAll(tresp.Body)
+	tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/trace = %d, want 200", tresp.StatusCode)
+	}
+	if !bytes.Contains(traces, []byte(rid)) {
+		t.Fatalf("/debug/trace does not mention request id %s:\n%s", rid, traces)
+	}
+
+	// The profiling surface answers.
+	presp, err := http.Get(base + "/debug/pprof/goroutine?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/goroutine = %d, want 200", presp.StatusCode)
+	}
 
 	// SIGTERM: the daemon drains and run returns cleanly.
 	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
@@ -94,6 +142,19 @@ func TestDaemonEndToEnd(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("daemon did not exit on SIGTERM")
+	}
+
+	// -trace-out flushed the held traces as JSONL on shutdown.
+	data, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatalf("trace-out file: %v", err)
+	}
+	var tr obs.Trace
+	if err := json.Unmarshal(bytes.Split(bytes.TrimSpace(data), []byte("\n"))[0], &tr); err != nil {
+		t.Fatalf("trace-out first line does not parse: %v", err)
+	}
+	if tr.ID == "" || len(tr.Spans) == 0 {
+		t.Fatalf("trace-out trace = %+v", tr)
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"expvar"
 	"fmt"
+	"math"
 	"math/bits"
 	"sync/atomic"
 	"time"
@@ -20,13 +21,22 @@ var engine = engineVars{taxonomy: make([]atomic.Int64, len(failureOrder))}
 // failureOrder fixes the reporting order of the failure-taxonomy counters.
 var failureOrder = route.Failures()
 
+// failureIdx maps each classification to its taxonomy counter. Built once at
+// init: failureIndex runs on every failed episode on the hot path, and a map
+// probe is O(1) where the previous linear scan was O(taxonomy).
+var failureIdx = func() map[route.Failure]int {
+	m := make(map[route.Failure]int, len(failureOrder))
+	for i, g := range failureOrder {
+		m[g] = i
+	}
+	return m
+}()
+
 // failureIndex maps a classification to its taxonomy counter (-1 for
 // FailNone or an unknown classification).
 func failureIndex(f route.Failure) int {
-	for i, g := range failureOrder {
-		if g == f {
-			return i
-		}
+	if i, ok := failureIdx[f]; ok {
+		return i
 	}
 	return -1
 }
@@ -44,6 +54,7 @@ type engineVars struct {
 	panics      atomic.Int64
 	batches     atomic.Int64
 	durations   [durBuckets]atomic.Int64
+	durTotalUs  atomic.Int64 // summed episode wall time, microseconds
 	taxonomy    []atomic.Int64 // indexed like failureOrder
 }
 
@@ -85,6 +96,7 @@ func recordEpisode(res route.Result, d time.Duration) {
 		engine.taxonomy[i].Add(1)
 	}
 	engine.durations[durBucket(d)].Add(1)
+	engine.durTotalUs.Add(int64(d / time.Microsecond))
 }
 
 // recordCancelled counts episodes a cancelled batch never ran. They appear
@@ -126,8 +138,37 @@ type EngineStats struct {
 	// because those episodes never routed.
 	FailureTaxonomy map[string]int64
 	// EpisodeWallTime is a log2 histogram of per-episode wall time, keyed
-	// by human-readable bucket labels; empty buckets are omitted.
+	// by human-readable bucket labels. Every bucket is always present
+	// (zero-valued when unseen), like FailureTaxonomy, so dashboards can
+	// rely on a stable key set.
 	EpisodeWallTime map[string]int64
+	// WallTimeHist is the same histogram in exposition order with numeric
+	// bounds — the form the Prometheus translation consumes (counts are
+	// per-bucket, not cumulative). Excluded from the expvar JSON: the
+	// overflow bound is +Inf, which encoding/json cannot represent (the
+	// labelled map above is the JSON face of the histogram).
+	WallTimeHist []DurationBucket `json:"-"`
+	// WallTimeTotal is the summed wall time of all counted episodes
+	// (microsecond resolution), the histogram's _sum.
+	WallTimeTotal time.Duration
+}
+
+// DurationBucket is one bucket of the wall-time histogram.
+type DurationBucket struct {
+	// UpperSeconds is the bucket's exclusive upper bound in seconds
+	// (math.Inf(1) for the overflow bucket).
+	UpperSeconds float64
+	// Count is the number of episodes that landed in this bucket.
+	Count int64
+}
+
+// durBucketUpperSeconds is bucket b's exclusive upper bound in seconds:
+// bucket b counts episodes with wall time in [2^(b-1), 2^b) microseconds.
+func durBucketUpperSeconds(b int) float64 {
+	if b == durBuckets-1 {
+		return math.Inf(1)
+	}
+	return float64(uint64(1)<<b) * 1e-6
 }
 
 // Stats snapshots the engine counters. Counters are process-wide and only
@@ -146,11 +187,13 @@ func Stats() EngineStats {
 	for i, f := range failureOrder {
 		s.FailureTaxonomy[string(f)] = engine.taxonomy[i].Load()
 	}
+	s.WallTimeHist = make([]DurationBucket, durBuckets)
 	for b := 0; b < durBuckets; b++ {
-		if c := engine.durations[b].Load(); c > 0 {
-			s.EpisodeWallTime[durBucketLabel(b)] = c
-		}
+		c := engine.durations[b].Load()
+		s.EpisodeWallTime[durBucketLabel(b)] = c
+		s.WallTimeHist[b] = DurationBucket{UpperSeconds: durBucketUpperSeconds(b), Count: c}
 	}
+	s.WallTimeTotal = time.Duration(engine.durTotalUs.Load()) * time.Microsecond
 	return s
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/girg"
+	"repro/internal/obs"
 	"repro/internal/route"
 	"repro/internal/stats"
 )
@@ -178,6 +179,18 @@ func runF1(cfg Config) (Table, error) {
 	t.SetMetric("peak_weight", maxW)
 	t.AddNote("path length %d; weight peaks at hop %d of %d with w = %.1f (the network core), matching Figure 1's two-phase shape",
 		len(hops)-1, maxWHop, len(hops)-1, maxW)
+	// The trace phase analyzer (obs.Analyze) splits the same trajectory at
+	// its max-weight hop; its phase lengths are the machine-readable form of
+	// the table above and the invariant the observability tests assert.
+	spans := make([]obs.Span, len(hops))
+	for i, h := range hops {
+		spans[i] = obs.Span{Step: i, W: h.W, Score: h.Score}
+	}
+	ph := obs.Analyze(spans)
+	t.SetMetric("weight_phase_hops", float64(ph.WeightHops))
+	t.SetMetric("objective_phase_hops", float64(ph.ObjectiveHops))
+	t.AddNote("phase analyzer: %d weight-phase hops, %d objective-phase hops (boundary at the max-weight hop); two-phase shape: %v",
+		ph.WeightHops, ph.ObjectiveHops, ph.TwoPhase)
 	// Objective must increase monotonically (by construction of greedy).
 	mono := true
 	for i := 1; i < len(hops); i++ {

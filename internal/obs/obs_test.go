@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// TestLogConfigFormats checks both handlers produce parseable output and the
+// level floor filters below it.
+func TestLogConfigFormats(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := (&LogConfig{Format: "json", Level: "warn"}).NewLogger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("too quiet")
+	l.Warn("loud enough", "k", 7)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("warn-level logger emitted %d lines, want 1: %q", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("json log line does not parse: %v", err)
+	}
+	if rec["msg"] != "loud enough" || rec["k"] != float64(7) {
+		t.Fatalf("json record = %v", rec)
+	}
+
+	buf.Reset()
+	l, err = (&LogConfig{}).NewLogger(&buf) // zero value: text, info
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Debug("hidden")
+	l.Info("shown")
+	if got := buf.String(); !strings.Contains(got, "shown") || strings.Contains(got, "hidden") {
+		t.Fatalf("default text logger output = %q", got)
+	}
+}
+
+// TestLogConfigRejectsUnknown ensures typos fail loudly rather than falling
+// back silently.
+func TestLogConfigRejectsUnknown(t *testing.T) {
+	if _, err := (&LogConfig{Level: "verbose"}).NewLogger(&bytes.Buffer{}); err == nil {
+		t.Error("unknown level accepted")
+	}
+	if _, err := (&LogConfig{Format: "logfmt"}).NewLogger(&bytes.Buffer{}); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+// TestRegisterLogFlags checks the flags land in the config.
+func TestRegisterLogFlags(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	c := RegisterLogFlags(fs)
+	if err := fs.Parse([]string{"-log-format", "json", "-log-level", "debug"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Format != "json" || c.Level != "debug" {
+		t.Fatalf("parsed config = %+v", c)
+	}
+}
+
+// TestRequestIDs checks ids are unique, deterministic in the salt, and the
+// sequence numbers are the 1-based counter services use as per-request seeds.
+func TestRequestIDs(t *testing.T) {
+	a, b := NewRequestIDs(42), NewRequestIDs(42)
+	seen := make(map[string]bool)
+	for i := 1; i <= 100; i++ {
+		seqA, idA := a.Next()
+		_, idB := b.Next()
+		if seqA != uint64(i) {
+			t.Fatalf("seq = %d, want %d", seqA, i)
+		}
+		if idA != idB {
+			t.Fatalf("same salt, same seq, different ids: %q vs %q", idA, idB)
+		}
+		if len(idA) != 16 {
+			t.Fatalf("id %q is not 16 hex chars", idA)
+		}
+		if seen[idA] {
+			t.Fatalf("duplicate id %q", idA)
+		}
+		seen[idA] = true
+	}
+	if _, other := NewRequestIDs(43).Next(); seen[other] {
+		t.Fatalf("different salt reproduced an id: %q", other)
+	}
+}
+
+// TestContextHelpers checks the request-id and logger context plumbing,
+// including the slog.Default fallback on a bare context.
+func TestContextHelpers(t *testing.T) {
+	ctx := context.Background()
+	if got := RequestID(ctx); got != "" {
+		t.Fatalf("RequestID on bare context = %q", got)
+	}
+	if Logger(ctx) != slog.Default() {
+		t.Fatal("Logger on bare context is not slog.Default")
+	}
+	ctx = WithRequestID(ctx, "deadbeef")
+	var buf bytes.Buffer
+	scoped := slog.New(slog.NewTextHandler(&buf, nil))
+	ctx = WithLogger(ctx, scoped)
+	if got := RequestID(ctx); got != "deadbeef" {
+		t.Fatalf("RequestID = %q", got)
+	}
+	if Logger(ctx) != scoped {
+		t.Fatal("Logger did not return the scoped logger")
+	}
+}
+
+// TestHash64 pins the mixer's basic properties: deterministic, argument-order
+// sensitive, and length sensitive (so (a, b) never collides with (a) by
+// construction of the fold).
+func TestHash64(t *testing.T) {
+	if Hash64(1, 2) != Hash64(1, 2) {
+		t.Fatal("Hash64 not deterministic")
+	}
+	if Hash64(1, 2) == Hash64(2, 1) {
+		t.Fatal("Hash64 ignores argument order")
+	}
+	if Hash64(1) == Hash64(1, 0) {
+		t.Fatal("Hash64 ignores argument count")
+	}
+	if f := hashFloat(3, 4); f < 0 || f >= 1 {
+		t.Fatalf("hashFloat out of [0,1): %v", f)
+	}
+}

@@ -1,0 +1,47 @@
+package obs
+
+// Phases is the two-phase decomposition of a greedy trajectory (Figure 1 of
+// the paper): node weights first grow doubly-exponentially into the network
+// core (the weight phase), then the objective grows doubly-exponentially
+// toward the target (the objective phase). The boundary between the phases
+// is the maximum-weight hop — the core vertex the walk peaks at.
+type Phases struct {
+	// Hops is the number of transmissions, len(spans)-1.
+	Hops int
+	// Boundary is the index of the first span attaining the maximum weight
+	// (the phase boundary; -1 for an empty trace).
+	Boundary int
+	// PeakW is the maximum weight along the trajectory.
+	PeakW float64
+	// WeightHops and ObjectiveHops are the lengths of the two phases:
+	// hops 1..Boundary climb the weight hierarchy, hops Boundary+1..Hops
+	// climb the objective. They sum to Hops.
+	WeightHops    int
+	ObjectiveHops int
+	// TwoPhase reports the Figure-1 shape: the trajectory has an interior
+	// weight peak (both endpoints strictly below it), so a non-empty weight
+	// phase is followed by a non-empty objective phase.
+	TwoPhase bool
+}
+
+// Analyze splits a trajectory into the paper's two phases at its
+// maximum-weight hop.
+func Analyze(spans []Span) Phases {
+	if len(spans) == 0 {
+		return Phases{Boundary: -1}
+	}
+	p := Phases{Hops: len(spans) - 1, PeakW: spans[0].W}
+	for i, s := range spans {
+		if s.W > p.PeakW {
+			p.PeakW, p.Boundary = s.W, i
+		}
+	}
+	p.WeightHops = p.Boundary
+	p.ObjectiveHops = p.Hops - p.Boundary
+	p.TwoPhase = p.Boundary > 0 && p.Boundary < len(spans)-1 &&
+		spans[0].W < p.PeakW && spans[len(spans)-1].W < p.PeakW
+	return p
+}
+
+// AnalyzeTrace is Analyze on a completed trace.
+func AnalyzeTrace(tr Trace) Phases { return Analyze(tr.Spans) }

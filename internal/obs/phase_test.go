@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"testing"
+
+	"repro/internal/girg"
+	"repro/internal/route"
+)
+
+func spansOfWeights(ws ...float64) []Span {
+	spans := make([]Span, len(ws))
+	for i, w := range ws {
+		spans[i] = Span{Step: i, W: w, Score: float64(i)}
+	}
+	return spans
+}
+
+// TestAnalyzeShapes covers the analyzer's boundary cases: empty, single
+// vertex, monotone climbs (no second phase) and the Figure-1 interior peak.
+func TestAnalyzeShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		ws   []float64
+		want Phases
+	}{
+		{"empty", nil, Phases{Boundary: -1}},
+		{"single", []float64{3}, Phases{Hops: 0, Boundary: 0, PeakW: 3}},
+		{"monotone up", []float64{1, 2, 4, 8},
+			Phases{Hops: 3, Boundary: 3, PeakW: 8, WeightHops: 3, ObjectiveHops: 0}},
+		{"monotone down", []float64{8, 4, 2, 1},
+			Phases{Hops: 3, Boundary: 0, PeakW: 8, WeightHops: 0, ObjectiveHops: 3}},
+		{"two phase", []float64{1, 4, 16, 4, 1},
+			Phases{Hops: 4, Boundary: 2, PeakW: 16, WeightHops: 2, ObjectiveHops: 2, TwoPhase: true}},
+		{"peak tie picks first", []float64{1, 9, 9, 1},
+			Phases{Hops: 3, Boundary: 1, PeakW: 9, WeightHops: 1, ObjectiveHops: 2, TwoPhase: true}},
+	}
+	for _, c := range cases {
+		if got := Analyze(spansOfWeights(c.ws...)); got != c.want {
+			t.Errorf("%s: Analyze = %+v, want %+v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestAnalyzeSumsToHops checks the phase lengths always partition the path.
+func TestAnalyzeSumsToHops(t *testing.T) {
+	for _, ws := range [][]float64{{1}, {1, 2}, {2, 1}, {1, 5, 2}, {3, 1, 4, 1, 5, 9, 2, 6}} {
+		p := Analyze(spansOfWeights(ws...))
+		if p.WeightHops+p.ObjectiveHops != p.Hops {
+			t.Errorf("weights %v: %d + %d != %d hops", ws, p.WeightHops, p.ObjectiveHops, p.Hops)
+		}
+	}
+}
+
+// TestGIRGTraceTwoPhase is the Figure-1 acceptance check: a greedy episode on
+// a sparse GIRG between planted low-weight, far-apart endpoints, captured
+// through the Tracer, must decompose into a non-trivial weight phase followed
+// by a non-trivial objective phase (the paper's two-phase trajectory shape).
+func TestGIRGTraceTwoPhase(t *testing.T) {
+	p := girg.DefaultParams(30000)
+	p.FixedN = true
+	// Sparse kernel so the path is long enough to expose both phases (same
+	// setup as experiment F1, at test scale).
+	p.Lambda = 0.02
+	planted := []girg.Plant{
+		{Pos: []float64{0.1, 0.1}, W: p.WMin},
+		{Pos: []float64{0.6, 0.6}, W: p.WMin},
+	}
+	for seed := uint64(1); seed <= 30; seed++ {
+		g, err := girg.Generate(p, 900+seed, girg.Options{Planted: planted})
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj := route.NewStandard(g, 1)
+		res := route.Greedy(g, obj, 0)
+		if !res.Success || res.Moves < 4 {
+			continue
+		}
+		tr := NewTracer(TracerConfig{SampleRate: 1, Seed: seed, Protocol: "greedy"})
+		route.Observe(g, obj, res, 0, tr)
+		tr.Flush()
+		traces := tr.Traces()
+		if len(traces) != 1 {
+			t.Fatalf("seed %d: captured %d traces, want 1", seed, len(traces))
+		}
+		ph := AnalyzeTrace(traces[0])
+		if !ph.TwoPhase {
+			continue // short paths can peak at an endpoint; try another draw
+		}
+		if ph.WeightHops < 1 || ph.ObjectiveHops < 1 {
+			t.Fatalf("seed %d: TwoPhase with empty phase: %+v", seed, ph)
+		}
+		if ph.PeakW <= traces[0].Spans[0].W {
+			t.Fatalf("seed %d: peak weight %.2f does not rise above the planted start %.2f",
+				seed, ph.PeakW, traces[0].Spans[0].W)
+		}
+		t.Logf("seed %d: %d hops = %d weight-phase + %d objective-phase, peak w %.1f",
+			seed, ph.Hops, ph.WeightHops, ph.ObjectiveHops, ph.PeakW)
+		return
+	}
+	t.Fatal("no two-phase greedy trajectory found in 30 graph draws")
+}

@@ -1,0 +1,366 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/route"
+)
+
+// Span is one hop of a captured routing trajectory: the message sits on
+// vertex V, whose model weight is W and whose objective value is Score —
+// exactly one point of the paper's Figure 1. WallNs is the time since the
+// trace opened at which the span was captured; because the engine replays
+// trajectories to observers after an episode finishes, it measures capture
+// time, not in-flight routing time, and is zero when no clock is set.
+type Span struct {
+	Step   int     `json:"step"`
+	V      int     `json:"v"`
+	W      float64 `json:"w"`
+	Score  float64 `json:"score"`
+	WallNs int64   `json:"wall_ns,omitempty"`
+}
+
+// spanJSON is the wire form of Span: Score is typed any because the standard
+// objective scores the target vertex +Inf, which bare JSON numbers cannot
+// represent — non-finite scores travel as the strings "+Inf"/"-Inf"/"NaN".
+type spanJSON struct {
+	Step   int     `json:"step"`
+	V      int     `json:"v"`
+	W      float64 `json:"w"`
+	Score  any     `json:"score"`
+	WallNs int64   `json:"wall_ns,omitempty"`
+}
+
+// MarshalJSON encodes the span, spelling a non-finite Score as a string.
+func (s Span) MarshalJSON() ([]byte, error) {
+	j := spanJSON{Step: s.Step, V: s.V, W: s.W, WallNs: s.WallNs}
+	if math.IsInf(s.Score, 0) || math.IsNaN(s.Score) {
+		j.Score = formatPromValue(s.Score)
+	} else {
+		j.Score = s.Score
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON accepts both numeric and string-spelled scores.
+func (s *Span) UnmarshalJSON(b []byte) error {
+	var j spanJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	s.Step, s.V, s.W, s.WallNs = j.Step, j.V, j.W, j.WallNs
+	switch v := j.Score.(type) {
+	case float64:
+		s.Score = v
+	case string:
+		switch v {
+		case "+Inf":
+			s.Score = math.Inf(1)
+		case "-Inf":
+			s.Score = math.Inf(-1)
+		case "NaN":
+			s.Score = math.NaN()
+		default:
+			return fmt.Errorf("obs: unknown span score %q", v)
+		}
+	case nil:
+	default:
+		return fmt.Errorf("obs: span score has type %T", v)
+	}
+	return nil
+}
+
+// Trace is one completed routing trajectory with its identity and context.
+type Trace struct {
+	// ID is the deterministic trace id: a pure hash of the tracer seed and
+	// the episode index, so the same workload yields the same ids at any
+	// worker count.
+	ID string `json:"id"`
+	// Episode is the episode index within its batch (daemons use the
+	// request sequence number).
+	Episode int `json:"episode"`
+	// Request is the X-Request-ID of the request that routed the episode
+	// (daemon traces only), tying the trace to its slog lines.
+	Request string `json:"request,omitempty"`
+	// Protocol and Graph label the workload.
+	Protocol string `json:"protocol,omitempty"`
+	Graph    string `json:"graph,omitempty"`
+	// Failure is the episode's failure class ("" = delivered).
+	Failure string `json:"failure,omitempty"`
+	// Events are out-of-band annotations: fault models in effect, retry
+	// attempts and their outcomes.
+	Events []string `json:"events,omitempty"`
+	// Spans are the per-hop samples, in step order. Truncated reports that
+	// the per-trace span cap cut the tail off.
+	Spans     []Span `json:"spans"`
+	Truncated bool   `json:"truncated,omitempty"`
+}
+
+// TraceID derives the deterministic id of one episode's trace.
+func TraceID(seed uint64, episode int) string {
+	return fmt.Sprintf("t%016x", Hash64(seed, uint64(episode)))
+}
+
+// TracerConfig tunes a Tracer. The zero value samples nothing.
+type TracerConfig struct {
+	// SampleRate is the deterministic sampling probability: episode e is
+	// captured iff hash(Seed, e) < SampleRate, so the sampled set is a pure
+	// function of (Seed, SampleRate) — identical at any GOMAXPROCS and
+	// across runs. <= 0 captures nothing, >= 1 captures everything.
+	SampleRate float64
+	// Seed drives sampling and trace ids.
+	Seed uint64
+	// MaxSpans bounds the spans of one trace (default 4096); hops past the
+	// bound are dropped and the trace marked Truncated.
+	MaxSpans int
+	// Capacity bounds the ring of completed traces (default 64); the
+	// oldest trace is evicted first.
+	Capacity int
+	// Protocol and Graph are stamped on every captured trace.
+	Protocol string
+	Graph    string
+	// Now supplies span capture timestamps. nil leaves WallNs zero, which
+	// keeps traces bit-deterministic by default; set it (e.g. time.Now) when
+	// capture timing matters more than reproducibility.
+	Now func() time.Time
+}
+
+func (c TracerConfig) withDefaults() TracerConfig {
+	if c.MaxSpans <= 0 {
+		c.MaxSpans = 4096
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 64
+	}
+	return c
+}
+
+// Tracer records sampled routing trajectories. It implements route.Observer
+// for the engine's sequential replay streams (RunMilgram observers, single
+// Route calls): events of one episode arrive contiguously in step order, so
+// an episode-number change closes the previous trace; call Flush once the
+// stream ends to close the last one. Services that route concurrently
+// instead collect spans per request (SpanCollector) and Publish finished
+// traces directly; Sampled and TraceID give them the same deterministic
+// sampling and ids. All methods are safe for concurrent use and all methods
+// are no-ops on a nil *Tracer, so "tracing disabled" needs no branching at
+// call sites.
+type Tracer struct {
+	cfg TracerConfig
+
+	mu        sync.Mutex
+	open      *Trace    // trace being assembled by Move
+	openStart time.Time // capture clock zero of the open trace
+	skipEp    int       // last episode decided unsampled
+	haveSkip  bool
+	completed []Trace // bounded FIFO of finished traces
+
+	sampled   atomic.Int64 // traces opened (sampling decisions that hit)
+	published atomic.Int64 // traces completed into the ring
+	dropped   atomic.Int64 // spans dropped by MaxSpans
+}
+
+// NewTracer builds a tracer (zero config fields take defaults).
+func NewTracer(cfg TracerConfig) *Tracer {
+	return &Tracer{cfg: cfg.withDefaults()}
+}
+
+// ID returns the deterministic trace id of an episode under this tracer's
+// seed ("" on a nil tracer).
+func (t *Tracer) ID(episode int) string {
+	if t == nil {
+		return ""
+	}
+	return TraceID(t.cfg.Seed, episode)
+}
+
+// Sampled reports the deterministic sampling decision for an episode.
+func (t *Tracer) Sampled(episode int) bool {
+	if t == nil || t.cfg.SampleRate <= 0 {
+		return false
+	}
+	if t.cfg.SampleRate >= 1 {
+		return true
+	}
+	return hashFloat(t.cfg.Seed, uint64(episode)) < t.cfg.SampleRate
+}
+
+// Move consumes one replayed trajectory event (route.Observer). Events must
+// arrive episode-contiguous in step order — exactly what the engine's
+// observer contract guarantees.
+func (t *Tracer) Move(ev route.MoveEvent) {
+	if t == nil || t.cfg.SampleRate <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.open != nil {
+		if ev.Episode == t.open.Episode {
+			t.appendLocked(ev)
+			return
+		}
+		t.finishLocked()
+	}
+	if t.haveSkip && ev.Episode == t.skipEp {
+		return
+	}
+	if !t.Sampled(ev.Episode) {
+		t.skipEp, t.haveSkip = ev.Episode, true
+		return
+	}
+	t.open = &Trace{
+		ID:       TraceID(t.cfg.Seed, ev.Episode),
+		Episode:  ev.Episode,
+		Protocol: t.cfg.Protocol,
+		Graph:    t.cfg.Graph,
+	}
+	if t.cfg.Now != nil {
+		t.openStart = t.cfg.Now()
+	}
+	t.sampled.Add(1)
+	t.appendLocked(ev)
+}
+
+// appendLocked adds one span to the open trace, enforcing MaxSpans.
+func (t *Tracer) appendLocked(ev route.MoveEvent) {
+	if len(t.open.Spans) >= t.cfg.MaxSpans {
+		t.open.Truncated = true
+		t.dropped.Add(1)
+		return
+	}
+	s := Span{Step: ev.Step, V: ev.V, W: ev.W, Score: ev.Score}
+	if t.cfg.Now != nil {
+		s.WallNs = t.cfg.Now().Sub(t.openStart).Nanoseconds()
+	}
+	t.open.Spans = append(t.open.Spans, s)
+}
+
+// finishLocked moves the open trace into the completed ring.
+func (t *Tracer) finishLocked() {
+	tr := t.open
+	t.open = nil
+	t.publishLocked(*tr)
+}
+
+// Flush closes the trace still being assembled by Move, if any. Call it
+// when the observer stream ends (after RunMilgram returns).
+func (t *Tracer) Flush() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.open != nil {
+		t.finishLocked()
+	}
+}
+
+// Publish adds an externally assembled trace (service request paths) to the
+// completed ring.
+func (t *Tracer) Publish(tr Trace) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.publishLocked(tr)
+}
+
+func (t *Tracer) publishLocked(tr Trace) {
+	if tr.Spans == nil {
+		// A zero-hop trace (e.g. every attempt crashed at the source) still
+		// promises "spans": [] on the wire, never null.
+		tr.Spans = []Span{}
+	}
+	if len(t.completed) >= t.cfg.Capacity {
+		n := copy(t.completed, t.completed[1:])
+		t.completed = t.completed[:n]
+	}
+	t.completed = append(t.completed, tr)
+	t.published.Add(1)
+}
+
+// Traces snapshots the completed traces, oldest first.
+func (t *Tracer) Traces() []Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Trace, len(t.completed))
+	copy(out, t.completed)
+	return out
+}
+
+// WriteJSONL writes the completed traces as JSON Lines, one trace per line
+// — the export format of the daemon's GET /debug/trace and of trace files.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, tr := range t.Traces() {
+		if err := enc.Encode(tr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TracerStats is a snapshot of the tracer's own counters, exported on
+// /metrics so sampling health is itself observable.
+type TracerStats struct {
+	// Sampled counts traces opened, Published traces completed, Dropped
+	// spans discarded by the per-trace span cap; Held is the current ring
+	// population.
+	Sampled, Published, Dropped int64
+	Held                        int
+}
+
+// Stats snapshots the tracer counters (zero on a nil tracer).
+func (t *Tracer) Stats() TracerStats {
+	if t == nil {
+		return TracerStats{}
+	}
+	t.mu.Lock()
+	held := len(t.completed)
+	t.mu.Unlock()
+	return TracerStats{
+		Sampled:   t.sampled.Load(),
+		Published: t.published.Load(),
+		Dropped:   t.dropped.Load(),
+		Held:      held,
+	}
+}
+
+// SpanCollector gathers the spans of one episode replay on behalf of a
+// concurrent caller (one collector per request, no locking), bounded like a
+// Tracer trace. It implements route.Observer.
+type SpanCollector struct {
+	// Max bounds the collected spans (0 = the Tracer default, 4096).
+	Max       int
+	Spans     []Span
+	Truncated bool
+}
+
+// Move appends one replayed event as a span.
+func (c *SpanCollector) Move(ev route.MoveEvent) {
+	max := c.Max
+	if max <= 0 {
+		max = 4096
+	}
+	if len(c.Spans) >= max {
+		c.Truncated = true
+		return
+	}
+	c.Spans = append(c.Spans, Span{Step: ev.Step, V: ev.V, W: ev.W, Score: ev.Score})
+}
+
+// Reset clears the collector for the next attempt.
+func (c *SpanCollector) Reset() {
+	c.Spans = c.Spans[:0]
+	c.Truncated = false
+}

@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/girg"
+	"repro/internal/route"
+)
+
+// feed replays synthetic episodes through the observer interface: episode e
+// gets e%5+1 events in step order, episodes in order — the engine's replay
+// contract.
+func feed(tr *Tracer, episodes int) {
+	for e := 0; e < episodes; e++ {
+		for s := 0; s <= e%5; s++ {
+			tr.Move(route.MoveEvent{Episode: e, Step: s, V: 10*e + s, W: float64(s), Score: float64(s) / 10})
+		}
+	}
+	tr.Flush()
+}
+
+// TestTracerCapturesStream checks the observer path end to end: rate 1
+// captures every episode, spans arrive in step order, ids match TraceID.
+func TestTracerCapturesStream(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleRate: 1, Seed: 3, Protocol: "greedy", Graph: "g"})
+	feed(tr, 10)
+	traces := tr.Traces()
+	if len(traces) != 10 {
+		t.Fatalf("captured %d traces, want 10", len(traces))
+	}
+	for e, trace := range traces {
+		if trace.Episode != e || trace.ID != TraceID(3, e) {
+			t.Fatalf("trace %d: episode %d id %q", e, trace.Episode, trace.ID)
+		}
+		if trace.Protocol != "greedy" || trace.Graph != "g" {
+			t.Fatalf("trace %d: labels %q/%q", e, trace.Protocol, trace.Graph)
+		}
+		if len(trace.Spans) != e%5+1 {
+			t.Fatalf("trace %d: %d spans, want %d", e, len(trace.Spans), e%5+1)
+		}
+		for i, sp := range trace.Spans {
+			if sp.Step != i || sp.V != 10*e+i {
+				t.Fatalf("trace %d span %d: %+v", e, i, sp)
+			}
+			if sp.WallNs != 0 {
+				t.Fatalf("trace %d span %d: WallNs %d without a clock", e, i, sp.WallNs)
+			}
+		}
+	}
+	st := tr.Stats()
+	if st.Sampled != 10 || st.Published != 10 || st.Dropped != 0 || st.Held != 10 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestTracerSamplingDeterministic checks the sampling decision is a pure
+// function of (seed, episode): stable across tracers, different across seeds,
+// and roughly proportional to the rate.
+func TestTracerSamplingDeterministic(t *testing.T) {
+	a := NewTracer(TracerConfig{SampleRate: 0.3, Seed: 7})
+	b := NewTracer(TracerConfig{SampleRate: 0.3, Seed: 7})
+	c := NewTracer(TracerConfig{SampleRate: 0.3, Seed: 8})
+	hits, diff := 0, 0
+	for e := 0; e < 2000; e++ {
+		if a.Sampled(e) != b.Sampled(e) {
+			t.Fatalf("episode %d: same seed, different decision", e)
+		}
+		if a.Sampled(e) {
+			hits++
+		}
+		if a.Sampled(e) != c.Sampled(e) {
+			diff++
+		}
+	}
+	if hits < 450 || hits > 750 {
+		t.Fatalf("rate 0.3 sampled %d/2000", hits)
+	}
+	if diff == 0 {
+		t.Fatal("seed change did not move the sampled set")
+	}
+	if (&Tracer{cfg: TracerConfig{SampleRate: 0}}).Sampled(1) {
+		t.Fatal("rate 0 sampled an episode")
+	}
+	if !NewTracer(TracerConfig{SampleRate: 1}).Sampled(123) {
+		t.Fatal("rate 1 skipped an episode")
+	}
+}
+
+// TestTracerRingEviction checks the completed ring is bounded FIFO.
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleRate: 1, Capacity: 4})
+	feed(tr, 10)
+	traces := tr.Traces()
+	if len(traces) != 4 {
+		t.Fatalf("held %d traces, want 4", len(traces))
+	}
+	for i, trace := range traces {
+		if trace.Episode != 6+i {
+			t.Fatalf("ring[%d].Episode = %d, want %d (oldest evicted first)", i, trace.Episode, 6+i)
+		}
+	}
+	if st := tr.Stats(); st.Published != 10 || st.Held != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestTracerMaxSpans checks the per-trace span cap truncates instead of
+// growing without bound.
+func TestTracerMaxSpans(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleRate: 1, MaxSpans: 3})
+	for s := 0; s < 5; s++ {
+		tr.Move(route.MoveEvent{Episode: 0, Step: s})
+	}
+	tr.Flush()
+	traces := tr.Traces()
+	if len(traces) != 1 || len(traces[0].Spans) != 3 || !traces[0].Truncated {
+		t.Fatalf("traces = %+v", traces)
+	}
+	if st := tr.Stats(); st.Dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", st.Dropped)
+	}
+}
+
+// TestTracerClock checks span timestamps come from the injected clock.
+func TestTracerClock(t *testing.T) {
+	now := time.Unix(100, 0)
+	tr := NewTracer(TracerConfig{SampleRate: 1, Now: func() time.Time {
+		now = now.Add(time.Millisecond)
+		return now
+	}})
+	tr.Move(route.MoveEvent{Episode: 0, Step: 0})
+	tr.Move(route.MoveEvent{Episode: 0, Step: 1})
+	tr.Flush()
+	// The clock ticks once for the trace start and once per span: spans land
+	// 1ms and 2ms after the start.
+	spans := tr.Traces()[0].Spans
+	if spans[0].WallNs != int64(time.Millisecond) || spans[1].WallNs != int64(2*time.Millisecond) {
+		t.Fatalf("WallNs = %d, %d", spans[0].WallNs, spans[1].WallNs)
+	}
+}
+
+// TestTracerNil checks every method is a no-op on a nil tracer, so call
+// sites need no "tracing enabled" branches.
+func TestTracerNil(t *testing.T) {
+	var tr *Tracer
+	tr.Move(route.MoveEvent{})
+	tr.Flush()
+	tr.Publish(Trace{})
+	if tr.Sampled(1) || tr.ID(1) != "" || tr.Traces() != nil {
+		t.Fatal("nil tracer returned non-zero results")
+	}
+	if st := tr.Stats(); st != (TracerStats{}) {
+		t.Fatalf("nil stats = %+v", st)
+	}
+}
+
+// TestPublishNormalizesSpans checks a zero-hop trace (every attempt crashed
+// at the source) still serialises with "spans": [], never null — trace
+// consumers key on the list being present.
+func TestPublishNormalizesSpans(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleRate: 1})
+	tr.Publish(Trace{ID: "t0", Failure: "crashed-target"})
+	b, err := json.Marshal(tr.Traces()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b, []byte(`"spans":[]`)) {
+		t.Fatalf("zero-hop trace JSON = %s, want \"spans\":[]", b)
+	}
+}
+
+// TestWriteJSONL round-trips traces through the export format.
+func TestWriteJSONL(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleRate: 1, Seed: 5})
+	feed(tr, 3)
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(&buf)
+	var got []Trace
+	for dec.More() {
+		var tc Trace
+		if err := dec.Decode(&tc); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, tc)
+	}
+	if !reflect.DeepEqual(got, tr.Traces()) {
+		t.Fatalf("JSONL round trip mismatch:\n%+v\n%+v", got, tr.Traces())
+	}
+}
+
+// TestSpanJSONNonFinite round-trips the +Inf score the standard objective
+// assigns the target vertex — bare JSON numbers cannot carry it, so the wire
+// form spells it as a string.
+func TestSpanJSONNonFinite(t *testing.T) {
+	in := Span{Step: 2, V: 7, W: 1.5, Score: math.Inf(1)}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b, []byte(`"score":"+Inf"`)) {
+		t.Fatalf("wire form = %s", b)
+	}
+	var out Span
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip = %+v, want %+v", out, in)
+	}
+}
+
+// TestTracerEngineDeterminism runs the same Milgram batch under different
+// GOMAXPROCS with a sampling tracer attached and requires bit-identical
+// traces: the sampled set, the trace ids and every span must be pure
+// functions of (seed, workload), never of scheduling.
+func TestTracerEngineDeterminism(t *testing.T) {
+	p := girg.DefaultParams(2000)
+	p.FixedN = true
+	run := func(procs int) []Trace {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+		nw, err := core.NewGIRG(p, 7, girg.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := NewTracer(TracerConfig{SampleRate: 0.5, Seed: 9, Protocol: "greedy"})
+		if _, err := core.RunMilgram(nw, core.MilgramConfig{Pairs: 40, Seed: 11, Observer: tr}); err != nil {
+			t.Fatal(err)
+		}
+		tr.Flush()
+		traces := tr.Traces()
+		if len(traces) == 0 {
+			t.Fatal("sampling rate 0.5 over 40 episodes captured nothing")
+		}
+		return traces
+	}
+	serial, parallel := run(1), run(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("traces differ across GOMAXPROCS:\n1: %+v\n8: %+v", serial, parallel)
+	}
+}

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"net/http"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// handleMetrics serves GET /metrics: the Prometheus text exposition of the
+// whole process — engine counters (episodes, moves, failure taxonomy, the
+// wall-time histogram), the serving layer (pool, breakers, retries, swaps),
+// the tracer and the Go runtime. The translation is dependency-free
+// (obs.PromWriter) and the metric names are stable; DESIGN.md §9 carries the
+// full name table.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, 0, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", obs.PromContentType)
+	p := obs.NewPromWriter(w)
+	obs.WriteEngineMetrics(p, core.Stats())
+	s.writeServeMetrics(p)
+	obs.WriteTracerMetrics(p, s.tracer)
+	obs.WriteRuntimeMetrics(p)
+	if err := p.Err(); err != nil {
+		obs.Logger(r.Context()).Warn("metrics write failed", "err", err)
+	}
+}
+
+// breakerStateValue encodes breaker states as gauge values: 0 closed,
+// 1 open, 2 half-open (so "anything non-zero needs attention" alerts work).
+func breakerStateValue(st BreakerState) float64 {
+	switch st {
+	case BreakerOpen:
+		return 1
+	case BreakerHalfOpen:
+		return 2
+	}
+	return 0
+}
+
+// writeServeMetrics emits the smallworld_serve_* families.
+func (s *Server) writeServeMetrics(p *obs.PromWriter) {
+	draining := int64(0)
+	if s.draining.Load() {
+		draining = 1
+	}
+	p.Family("smallworld_serve_draining", "gauge", "1 while the server drains for shutdown.")
+	p.SampleInt("smallworld_serve_draining", nil, draining)
+	p.Family("smallworld_serve_graphs", "gauge", "Installed graph snapshots.")
+	p.SampleInt("smallworld_serve_graphs", nil, int64(len(*s.graphs.Load())))
+	p.Family("smallworld_serve_inflight", "gauge", "Requests holding a worker slot.")
+	p.SampleInt("smallworld_serve_inflight", nil, int64(s.pool.InFlight()))
+	p.Family("smallworld_serve_waiting", "gauge", "Admitted requests queued for a worker.")
+	p.SampleInt("smallworld_serve_waiting", nil, int64(s.pool.Waiting()))
+	p.Family("smallworld_serve_admitted_total", "counter", "Requests admitted by the pool.")
+	p.SampleInt("smallworld_serve_admitted_total", nil, s.pool.Acquired())
+	p.Family("smallworld_serve_shed_total", "counter", "Requests shed with 429 by the admission pool.")
+	p.SampleInt("smallworld_serve_shed_total", nil, s.pool.Shed())
+	p.Family("smallworld_serve_retries_total", "counter", "Transient-failure retry attempts.")
+	p.SampleInt("smallworld_serve_retries_total", nil, s.retries.Load())
+	p.Family("smallworld_serve_swaps_total", "counter", "Graph snapshots installed via /admin/swap.")
+	p.SampleInt("smallworld_serve_swaps_total", nil, s.swaps.Load())
+	p.Family("smallworld_serve_quarantined_total", "counter", "Swap snapshots rejected by checksum/format verification.")
+	p.SampleInt("smallworld_serve_quarantined_total", nil, s.quarantined.Load())
+
+	// Breakers are labelled by their (graph, protocol) pair; keys are
+	// sorted so consecutive scrapes diff cleanly.
+	type brSample struct {
+		graph, proto string
+		state        float64
+		opens        int64
+	}
+	s.breakerMu.Lock()
+	samples := make([]brSample, 0, len(s.breakers))
+	for key, b := range s.breakers {
+		graph, proto := key, ""
+		// Keys are "graph/protocol"; protocol names never contain '/', so
+		// the last separator is the split point even for odd graph names.
+		if i := strings.LastIndex(key, "/"); i >= 0 {
+			graph, proto = key[:i], key[i+1:]
+		}
+		samples = append(samples, brSample{graph, proto, breakerStateValue(b.State()), b.Opens()})
+	}
+	s.breakerMu.Unlock()
+	sort.Slice(samples, func(i, j int) bool {
+		if samples[i].graph != samples[j].graph {
+			return samples[i].graph < samples[j].graph
+		}
+		return samples[i].proto < samples[j].proto
+	})
+	// One family at a time: the exposition format requires every sample of
+	// a family to follow its TYPE line contiguously.
+	p.Family("smallworld_serve_breaker_state", "gauge", "Circuit breaker state: 0 closed, 1 open, 2 half-open.")
+	for _, b := range samples {
+		p.Sample("smallworld_serve_breaker_state",
+			[]obs.Label{{Name: "graph", Value: b.graph}, {Name: "protocol", Value: b.proto}}, b.state)
+	}
+	p.Family("smallworld_serve_breaker_opens_total", "counter", "Cumulative breaker trips to open.")
+	for _, b := range samples {
+		p.SampleInt("smallworld_serve_breaker_opens_total",
+			[]obs.Label{{Name: "graph", Value: b.graph}, {Name: "protocol", Value: b.proto}}, b.opens)
+	}
+}
+
+// handleTrace serves GET /debug/trace: the completed sampled traces as JSON
+// Lines, oldest first. 404 when the daemon runs without a tracer.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, 0, "GET required")
+		return
+	}
+	if s.tracer == nil {
+		writeError(w, http.StatusNotFound, 0, "tracing disabled (start the daemon with -trace-sample > 0)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if err := s.tracer.WriteJSONL(w); err != nil {
+		obs.Logger(r.Context()).Warn("trace write failed", "err", err)
+	}
+}

@@ -30,7 +30,9 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -43,6 +45,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/girg"
 	"repro/internal/graphio"
+	"repro/internal/obs"
 	"repro/internal/route"
 )
 
@@ -67,6 +70,16 @@ type Config struct {
 	// RetryAfter is the Retry-After hint attached to 429 responses
 	// (default 1s); opened breakers hint their own remaining open time.
 	RetryAfter time.Duration
+	// Logger is the server's structured logger; every request gets a
+	// request-scoped child carrying the X-Request-ID. nil uses slog.Default.
+	Logger *slog.Logger
+	// Tracer, when non-nil, samples routing episodes into bounded per-hop
+	// traces, exported on GET /debug/trace (see package obs). The tracer's
+	// own SampleRate decides which requests are captured.
+	Tracer *obs.Tracer
+	// RequestIDSalt salts the generated request ids; 0 derives a salt from
+	// the process start time (tests pin it for reproducible ids).
+	RequestIDSalt uint64
 }
 
 // withDefaults fills unset fields with serviceable defaults.
@@ -112,10 +125,15 @@ type Server struct {
 	// under RLock, Drain flips the flag under Lock, so no handler can slip
 	// past the draining check and Add to a WaitGroup that is already being
 	// waited on.
+	logger *slog.Logger
+	tracer *obs.Tracer
+	rids   *obs.RequestIDs
+
 	drainMu  sync.RWMutex
 	inflight sync.WaitGroup
 	draining atomic.Bool
 	reqID    atomic.Uint64
+	retries  atomic.Int64
 	swaps    atomic.Int64
 	// quarantined counts swap snapshots rejected by checksum/format
 	// verification — a nonzero value means something is corrupting files on
@@ -130,10 +148,21 @@ const DefaultGraph = "default"
 // AddNetwork before serving, or /readyz stays 503.
 func New(cfg Config) *Server {
 	c := cfg.withDefaults()
+	salt := c.RequestIDSalt
+	if salt == 0 {
+		salt = uint64(time.Now().UnixNano())
+	}
+	logger := c.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
 	s := &Server{
 		cfg:      c,
 		pool:     NewPool(c.Workers, c.QueueDepth),
 		breakers: map[string]*Breaker{},
+		logger:   logger,
+		tracer:   c.Tracer,
+		rids:     obs.NewRequestIDs(salt),
 	}
 	empty := map[string]*core.Network{}
 	s.graphs.Store(&empty)
@@ -247,11 +276,18 @@ func (s *Server) Drain(ctx context.Context) error {
 
 // Handler returns the daemon's HTTP handler:
 //
-//	POST /route       one routing query (RouteRequest → RouteResponse)
-//	GET  /healthz     liveness (200 while the process runs)
-//	GET  /readyz      readiness (503 while draining or graphless)
-//	GET  /debug/vars  expvar (smallworld.engine + smallworld.serve)
-//	POST /admin/swap  generate + atomically install a graph snapshot
+//	POST /route        one routing query (RouteRequest → RouteResponse)
+//	GET  /healthz      liveness (200 while the process runs)
+//	GET  /readyz       readiness (503 while draining or graphless)
+//	GET  /metrics      Prometheus text exposition (engine, pool, breakers,
+//	                   retries, swaps, tracer, Go runtime)
+//	GET  /debug/vars   expvar (smallworld.engine + smallworld.serve)
+//	GET  /debug/trace  sampled routing traces as JSONL (404 untraced)
+//	GET  /debug/pprof  net/http/pprof profiles (heap, goroutine, cpu, ...)
+//	POST /admin/swap   generate + atomically install a graph snapshot
+//
+// Every response carries an X-Request-ID header; the same id labels every
+// slog line of the request (admission, retries, breaker trips, episodes).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/route", s.handleRoute)
@@ -260,9 +296,31 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/readyz", s.handleReady)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/trace", s.handleTrace)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/admin/swap", s.handleSwap)
-	return mux
+	return s.withRequestID(mux)
+}
+
+// withRequestID is the edge middleware: it generates the request id, returns
+// it in the X-Request-ID response header, and threads a request-scoped
+// logger (carrying the id) plus the id itself through the request context,
+// so every layer below — admission, retries, breaker trips, swaps, engine
+// episodes — logs under one correlatable id.
+func (s *Server) withRequestID(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, id := s.rids.Next()
+		w.Header().Set("X-Request-ID", id)
+		ctx := obs.WithRequestID(r.Context(), id)
+		ctx = obs.WithLogger(ctx, s.logger.With("request_id", id))
+		h.ServeHTTP(w, r.WithContext(ctx))
+	})
 }
 
 // handleReady is the readiness probe: ready means not draining and at least
@@ -303,6 +361,7 @@ func writeError(w http.ResponseWriter, status int, retryAfter time.Duration, for
 // handleRoute serves POST /route: admission, breaker, then budgeted engine
 // episodes with transient-failure retries.
 func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	logger := obs.Logger(r.Context())
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, 0, "POST required")
 		return
@@ -310,6 +369,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	// Count the request as in-flight from here: Drain waits for the whole
 	// handler, so an admitted episode always gets to write its response.
 	if !s.beginRequest() {
+		logger.Info("route rejected", "reason", "draining")
 		writeError(w, http.StatusServiceUnavailable, s.cfg.RetryAfter, "server draining")
 		return
 	}
@@ -352,18 +412,25 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	// Admission: bounded concurrency, bounded queue, fast shedding.
 	if err := s.pool.Acquire(r.Context()); err != nil {
 		if err == ErrOverloaded {
+			logger.Warn("route shed", "reason", "overloaded",
+				"inflight", s.pool.InFlight(), "waiting", s.pool.Waiting())
 			writeError(w, http.StatusTooManyRequests, s.cfg.RetryAfter, "overloaded: %d in flight, %d queued",
 				s.pool.InFlight(), s.pool.Waiting())
 			return
 		}
+		logger.Info("route rejected", "reason", "cancelled while queued", "err", err)
 		writeError(w, http.StatusServiceUnavailable, 0, "cancelled while queued: %v", err)
 		return
 	}
 	defer s.pool.Release()
+	logger.Debug("route admitted", "graph", graphName, "protocol", protoName,
+		"s", req.S, "t", req.T, "inflight", s.pool.InFlight(), "waiting", s.pool.Waiting())
 
 	// Circuit breaker: fail fast while this (graph, protocol) is unhealthy.
 	br := s.breaker(graphName, protoName)
 	if retryIn, err := br.Allow(); err != nil {
+		logger.Warn("route rejected", "reason", "breaker open",
+			"graph", graphName, "protocol", protoName, "retry_in_ms", retryIn.Milliseconds())
 		writeError(w, http.StatusServiceUnavailable, retryIn, "circuit breaker open for %s/%s",
 			graphName, protoName)
 		return
@@ -376,6 +443,21 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	deadline := start.Add(s.cfg.RequestTimeout)
+
+	// Deterministic trace sampling: the decision and the trace id are pure
+	// functions of (tracer seed, request sequence). The collector is reset
+	// per attempt so the published trace holds the final attempt's spans;
+	// earlier attempts survive as trace events.
+	var (
+		collector   *obs.SpanCollector
+		traceEvents []string
+	)
+	if s.tracer.Sampled(int(requestID)) {
+		collector = &obs.SpanCollector{}
+		for _, f := range req.Faults {
+			traceEvents = append(traceEvents, fmt.Sprintf("fault %s rate=%g", f.Model, f.Rate))
+		}
+	}
 
 	var (
 		res      route.Result
@@ -399,14 +481,29 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 				break
 			}
 		}
-		res, epErr = nw.RouteEpisode(core.EpisodeConfig{
+		epCfg := core.EpisodeConfig{
 			Protocol: core.Protocol(protoName),
 			S:        req.S, T: req.T,
 			MaxHops: s.cfg.MaxHops,
 			Timeout: remaining,
 			Faults:  plan,
 			Episode: attempt,
-		})
+		}
+		if collector != nil {
+			collector.Reset()
+			epCfg.Observer = collector
+		}
+		res, epErr = nw.RouteEpisode(epCfg)
+		if collector != nil {
+			switch {
+			case epErr != nil:
+				traceEvents = append(traceEvents, fmt.Sprintf("attempt %d: error", attempt))
+			case res.Success:
+				traceEvents = append(traceEvents, fmt.Sprintf("attempt %d: delivered", attempt))
+			default:
+				traceEvents = append(traceEvents, fmt.Sprintf("attempt %d: %s", attempt, res.Failure))
+			}
+		}
 		if epErr != nil || res.Success || !Transient(res.Failure) {
 			break
 		}
@@ -419,12 +516,16 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		if rem := time.Until(deadline); wait > rem {
 			wait = rem
 		}
+		s.retries.Add(1)
+		logger.Info("route retrying", "attempt", attempt, "failure", string(res.Failure),
+			"backoff_ms", wait.Milliseconds())
 		if wait > 0 {
 			t := time.NewTimer(wait)
 			select {
 			case <-t.C:
 			case <-r.Context().Done():
 				t.Stop()
+				logger.Info("route abandoned", "reason", "client gone during backoff", "err", r.Context().Err())
 				writeError(w, http.StatusServiceUnavailable, 0, "client gone during backoff: %v", r.Context().Err())
 				br.Record(true)
 				return
@@ -436,12 +537,36 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	// and engine-inflicted failure classes count against it, while
 	// definitive protocol outcomes (delivered, dead-end, truncated) count
 	// as healthy service.
+	stateBefore := br.State()
 	br.Record(epErr != nil || Transient(res.Failure) || res.Failure == route.FailCancelled)
+	if after := br.State(); after == BreakerOpen && stateBefore != BreakerOpen {
+		logger.Warn("circuit breaker opened", "graph", graphName, "protocol", protoName,
+			"opens", br.Opens())
+	}
+
+	if collector != nil && epErr == nil {
+		s.tracer.Publish(obs.Trace{
+			ID:        s.tracer.ID(int(requestID)),
+			Episode:   int(requestID),
+			Request:   obs.RequestID(r.Context()),
+			Protocol:  protoName,
+			Graph:     graphName,
+			Failure:   string(res.Failure),
+			Events:    traceEvents,
+			Spans:     collector.Spans,
+			Truncated: collector.Truncated,
+		})
+	}
 
 	if epErr != nil {
+		logger.Error("route episode failed", "err", epErr, "attempts", attempts)
 		writeError(w, http.StatusInternalServerError, 0, "%v", epErr)
 		return
 	}
+	logger.Info("route episode", "graph", graphName, "protocol", protoName,
+		"s", req.S, "t", req.T, "success", res.Success, "failure", string(res.Failure),
+		"moves", res.Moves, "attempts", attempts,
+		"elapsed_ms", float64(time.Since(start).Microseconds())/1000)
 	resp := RouteResponse{
 		Graph:    graphName,
 		Protocol: protoName,
@@ -466,6 +591,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 // keep routing on the snapshot they already resolved. A file that fails
 // verification is quarantined: 422, the counter ticks, nothing is installed.
 func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
+	logger := obs.Logger(r.Context())
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, 0, "POST required")
 		return
@@ -482,6 +608,7 @@ func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
 			var corrupt *graphio.CorruptError
 			if errors.As(err, &corrupt) {
 				s.quarantined.Add(1)
+				logger.Warn("swap snapshot quarantined", "path", req.Path, "err", err)
 				writeError(w, http.StatusUnprocessableEntity, 0, "snapshot rejected, not installed: %v", err)
 				return
 			}
@@ -525,6 +652,9 @@ func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
 	}
 	s.AddNetwork(name, nw)
 	s.swaps.Add(1)
+	logger.Info("graph swapped", "graph", name, "label", nw.Label,
+		"n", nw.Graph.N(), "m", nw.Graph.M(),
+		"fingerprint", fmt.Sprintf("%016x", nw.Graph.Fingerprint()))
 	writeJSON(w, http.StatusOK, SwapResponse{
 		Graph:       name,
 		Label:       nw.Label,
@@ -546,6 +676,8 @@ type ServeStats struct {
 	Waiting  int
 	Shed     int64
 	Admitted int64
+	// Retries counts transient-failure retry attempts across all requests.
+	Retries int64
 	// Swaps counts installed snapshots via /admin/swap; Quarantined counts
 	// swap files rejected by checksum/format verification.
 	Swaps       int64
@@ -564,6 +696,7 @@ func (s *Server) Stats() ServeStats {
 		Waiting:     s.pool.Waiting(),
 		Shed:        s.pool.Shed(),
 		Admitted:    s.pool.Acquired(),
+		Retries:     s.retries.Load(),
 		Swaps:       s.swaps.Load(),
 		Quarantined: s.quarantined.Load(),
 		Breakers:    map[string]string{},
