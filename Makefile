@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check vuln build test race vet cover bench bench-full experiments examples clean
+.PHONY: all check vuln build test race vet cover bench bench-full bench-routing perf-smoke experiments examples clean
 
 all: check
 
@@ -44,6 +44,20 @@ bench:
 # Full-scale benchmark pass: reproduces the EXPERIMENTS.md workloads.
 bench-full:
 	REPRO_BENCH_SCALE=1 $(GO) test -bench=. -benchmem -benchtime=1x -timeout=2h .
+
+# Routing hot-path benchmarks, recorded into a committed JSON snapshot.
+# Refreshes the "after" numbers in BENCH_pr6.json and preserves the
+# committed "before" baseline, so the zero-alloc fast path stays honest.
+BENCH_JSON ?= BENCH_pr6.json
+bench-routing:
+	$(GO) test -run='^$$' -bench='GreedyEpisode|ServeRouteBatch' -benchmem -benchtime=2s . \
+	  | tee /dev/stderr | $(GO) run ./cmd/benchjson -out $(BENCH_JSON) -key after
+
+# In-process daemon + open-loop load generator with latency/success gates:
+# the CI perf smoke. Tune the gates there, not here.
+perf-smoke:
+	$(GO) run ./cmd/loadgen -self -n 20000 -rps 150 -duration 15s -batch 8 \
+	  -max-p99-ms 500 -min-success 0.99
 
 # Regenerate every experiment table at full scale (EXPERIMENTS.md source).
 experiments:

@@ -11,6 +11,12 @@
 package repro
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"strconv"
 	"testing"
@@ -18,7 +24,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/expt"
 	"repro/internal/girg"
+	"repro/internal/graph"
 	"repro/internal/hrg"
+	"repro/internal/route"
+	"repro/internal/serve"
+	"repro/internal/xrand"
 )
 
 func benchScale() float64 {
@@ -107,6 +117,81 @@ func BenchmarkPipelineGreedyEpisodes(b *testing.B) {
 		}
 		b.ReportMetric(rep.Success.P, "success")
 	}
+}
+
+// BenchmarkGreedyEpisode is the hot-path benchmark of the v2 routing
+// surface: one standard-φ greedy episode through route.GreedyCSR with
+// reused Scratch/Result buffers. The headline number is allocs/op, which
+// must be 0 — TestGreedyCSRZeroAlloc in internal/route enforces the same
+// property with testing.AllocsPerRun, so a regression fails the test suite,
+// not just this benchmark's eyeball check.
+func BenchmarkGreedyEpisode(b *testing.B) {
+	p := girg.DefaultParams(20000)
+	p.FixedN = true
+	nw, err := core.NewGIRG(p, 5, girg.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := nw.Graph
+	giant := graph.GiantComponent(g)
+	rng := xrand.New(7)
+	const nPairs = 64
+	pairs := make([][2]int, nPairs)
+	for i := range pairs {
+		pairs[i] = [2]int{giant[rng.IntN(len(giant))], giant[rng.IntN(len(giant))]}
+	}
+	var (
+		sc  route.Scratch
+		out route.Result
+	)
+	budget := route.Budget{MaxScans: 1 << 20}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr := pairs[i%nPairs]
+		route.GreedyCSR(g, pr[1], pr[0], budget, &sc, &out)
+	}
+}
+
+// BenchmarkServeRouteBatch measures the HTTP batch surface end to end —
+// JSON decode, admission, per-item breaker/retry bookkeeping, routing on
+// pooled episode state, JSON encode — in queries, not requests: divide
+// ns/op by the batch size for the per-query cost.
+func BenchmarkServeRouteBatch(b *testing.B) {
+	p := girg.DefaultParams(20000)
+	p.FixedN = true
+	nw, err := core.NewGIRG(p, 5, girg.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := serve.New(serve.Config{
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	srv.AddNetwork(serve.DefaultGraph, nw)
+	h := srv.Handler()
+
+	giant := graph.GiantComponent(nw.Graph)
+	rng := xrand.New(7)
+	const batch = 64
+	items := make([]serve.BatchItem, batch)
+	for i := range items {
+		items[i] = serve.BatchItem{S: giant[rng.IntN(len(giant))], T: giant[rng.IntN(len(giant))]}
+	}
+	body, err := json.Marshal(serve.BatchRouteRequest{Items: items})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/route/batch", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("batch status = %d", w.Code)
+		}
+	}
+	b.ReportMetric(batch, "queries/req")
 }
 
 func BenchmarkPipelineHRGGenerate(b *testing.B) {

@@ -1,0 +1,106 @@
+// benchjson converts `go test -bench` output into a committed JSON record,
+// merging into an existing file so before/after snapshots accumulate under
+// named keys:
+//
+//	go test -bench=Greedy -benchmem . | benchjson -out BENCH_pr6.json -key after
+//
+// The file maps key → benchmark name → measurements. Existing keys other
+// than the one being written are preserved verbatim, which is what lets a
+// PR commit its "before" numbers once and refresh "after" on every run.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	out := fs.String("out", "", "JSON file to merge into (required)")
+	key := fs.String("key", "after", "top-level key to write this run under")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+
+	run, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(run) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin")
+	}
+
+	// Merge: keep every existing top-level key except the one being written.
+	doc := map[string]json.RawMessage{}
+	if prev, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(prev, &doc); err != nil {
+			return fmt.Errorf("%s exists but is not a JSON object: %v", *out, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	enc, err := json.Marshal(run)
+	if err != nil {
+		return err
+	}
+	doc[*key] = enc
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(*out, append(buf, '\n'), 0o644)
+}
+
+// parseBench extracts measurement maps from `go test -bench` output lines:
+//
+//	BenchmarkName-8   132   21988694 ns/op   1.000 success   256262 B/op   19 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped from the name; every value/unit pair
+// after the iteration count becomes one entry, plus "iterations" itself.
+func parseBench(in io.Reader) (map[string]map[string]float64, error) {
+	out := map[string]map[string]float64{}
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 3 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseFloat(f[1], 64)
+		if err != nil {
+			continue // a config line like "goos: linux", not a result
+		}
+		name := f[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		m := map[string]float64{"iterations": iters}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q on line %q", f[i], sc.Text())
+			}
+			m[f[i+1]] = v
+		}
+		out[name] = m
+	}
+	return out, sc.Err()
+}

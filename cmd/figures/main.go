@@ -96,7 +96,7 @@ func figTrajectory(ctx context.Context, scale float64, seed uint64) (*plot.Plot,
 		{Pos: []float64{0.1, 0.1}, W: p.WMin},
 		{Pos: []float64{0.6, 0.6}, W: p.WMin},
 	}
-	var hops []route.Hop
+	var hops []route.MoveEvent
 	for attempt := uint64(0); attempt < 50; attempt++ {
 		g, err := girg.Generate(p, seed+attempt, girg.Options{Planted: planted})
 		if err != nil {
@@ -105,7 +105,7 @@ func figTrajectory(ctx context.Context, scale float64, seed uint64) (*plot.Plot,
 		obj := route.NewStandard(g, 1)
 		res := route.Greedy(g, obj, 0)
 		if res.Success && len(res.Path) > len(hops) {
-			hops = route.Trajectory(g, obj, res)
+			hops = route.Moves(g, obj, res, 0)
 			if res.Moves >= 6 {
 				break
 			}

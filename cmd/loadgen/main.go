@@ -1,0 +1,286 @@
+// loadgen is an open-loop load generator for the smallworldd routing
+// daemon: it fires routing queries at a fixed request rate — on schedule,
+// regardless of how slowly the daemon answers, which is what makes tail
+// latencies honest — and prints a JSON summary with p50/p95/p99 latency,
+// shed rate and success rate. Optional gates turn the summary into an exit
+// code, so CI can fail a build on a latency regression:
+//
+//	loadgen -self -n 20000 -rps 200 -duration 10s -max-p99-ms 250 -min-success 0.99
+//	loadgen -addr localhost:8080 -nmax 100000 -rps 500 -duration 30s -batch 16
+//
+// With -self, loadgen spins up an in-process daemon (same serving stack as
+// smallworldd: admission pool, breakers, retries) on a loopback port and
+// drives that — no second process, which is how the CI perf smoke runs.
+// With -batch k, each request is a POST /route/batch of k queries sharing
+// one admission slot; the configured -rps still counts requests, so the
+// query throughput is rps×k.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/girg"
+	"repro/internal/obs"
+	"repro/internal/route"
+	"repro/internal/serve"
+	"repro/internal/xrand"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// summary is the JSON report loadgen prints; field names are the contract
+// the CI smoke job greps, so treat them as API.
+type summary struct {
+	RPS       float64 `json:"rps"`
+	Duration  float64 `json:"duration_s"`
+	Batch     int     `json:"batch"`
+	Sent      int64   `json:"requests_sent"`
+	Queries   int64   `json:"queries_sent"`
+	Errors    int64   `json:"transport_errors"`
+	Shed      int64   `json:"shed"`
+	Success   int64   `json:"success"`
+	Failed    int64   `json:"failed"`
+	ShedRate  float64 `json:"shed_rate"`
+	SuccRate  float64 `json:"success_rate"`
+	P50Ms     float64 `json:"p50_ms"`
+	P95Ms     float64 `json:"p95_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	GateP99   float64 `json:"gate_max_p99_ms,omitempty"`
+	GateSucc  float64 `json:"gate_min_success,omitempty"`
+	GatesPass bool    `json:"gates_pass"`
+}
+
+func run(args []string, out *os.File) (int, error) {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "", "host:port of a running smallworldd (mutually exclusive with -self)")
+		self     = fs.Bool("self", false, "serve an in-process daemon on a loopback port and drive it")
+		n        = fs.Float64("n", 10000, "GIRG size for -self")
+		seed     = fs.Uint64("seed", 1, "random seed (graph sampling and query pairs)")
+		workers  = fs.Int("workers", 0, "-self daemon worker pool size (0 = 4)")
+		queue    = fs.Int("queue", 0, "-self daemon admission queue depth (0 = 16)")
+		timeout  = fs.Duration("timeout", 2*time.Second, "-self daemon per-request deadline")
+		nmax     = fs.Int("nmax", 0, "vertex-id upper bound for query pairs against -addr (required with -addr)")
+		rps      = fs.Float64("rps", 100, "requests per second, held open-loop")
+		duration = fs.Duration("duration", 10*time.Second, "generation window")
+		batch    = fs.Int("batch", 1, "queries per request: 1 = POST /route, k>1 = POST /route/batch of k")
+		proto    = fs.String("proto", "", "protocol name for every query (empty = daemon default)")
+		maxP99   = fs.Float64("max-p99-ms", 0, "gate: fail (exit 1) when p99 latency exceeds this many ms (0 = off)")
+		minSucc  = fs.Float64("min-success", 0, "gate: fail (exit 1) when the success rate is below this fraction (0 = off)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1, err
+	}
+	if (*addr == "") == !*self {
+		return 1, fmt.Errorf("exactly one of -addr or -self is required")
+	}
+	if *rps <= 0 || *duration <= 0 || *batch < 1 {
+		return 1, fmt.Errorf("-rps, -duration and -batch must be positive")
+	}
+
+	base := *addr
+	verts := *nmax
+	if *self {
+		p := girg.DefaultParams(*n)
+		p.FixedN = true
+		g, err := girg.Generate(p, *seed, girg.Options{})
+		if err != nil {
+			return 1, err
+		}
+		// The in-process daemon logs WARN and up: per-episode INFO lines at
+		// hundreds of RPS would drown the summary this tool exists to print.
+		srv := serve.New(serve.Config{
+			Workers:        *workers,
+			QueueDepth:     *queue,
+			RequestTimeout: *timeout,
+			Logger: slog.New(slog.NewTextHandler(os.Stderr,
+				&slog.HandlerOptions{Level: slog.LevelWarn})),
+		})
+		srv.AddNetwork(serve.DefaultGraph, &core.Network{
+			Graph: g,
+			Label: fmt.Sprintf("loadgen-self(n=%d)", g.N()),
+			NewObjective: func(t int) route.Objective {
+				return route.NewStandard(g, t)
+			},
+			StandardPhi: true,
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return 1, err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		defer hs.Shutdown(context.Background())
+		base = ln.Addr().String()
+		verts = g.N()
+	}
+	if verts <= 1 {
+		return 1, fmt.Errorf("-nmax must be > 1 when driving a remote daemon")
+	}
+	url := "http://" + base
+
+	// Pre-build one request body per tick: the generation loop must not
+	// marshal JSON on the critical path or the schedule drifts under load.
+	interval := time.Duration(float64(time.Second) / *rps)
+	ticks := int(*duration / interval)
+	if ticks < 1 {
+		ticks = 1
+	}
+	rng := xrand.New(*seed + 1)
+	bodies := make([][]byte, ticks)
+	for i := range bodies {
+		var body []byte
+		var err error
+		if *batch == 1 {
+			body, err = json.Marshal(serve.RouteRequest{
+				Protocol: *proto, S: rng.IntN(verts), T: rng.IntN(verts),
+			})
+		} else {
+			items := make([]serve.BatchItem, *batch)
+			for j := range items {
+				items[j] = serve.BatchItem{Protocol: *proto, S: rng.IntN(verts), T: rng.IntN(verts)}
+			}
+			body, err = json.Marshal(serve.BatchRouteRequest{Items: items})
+		}
+		if err != nil {
+			return 1, err
+		}
+		bodies[i] = body
+	}
+	endpoint := url + "/route"
+	if *batch > 1 {
+		endpoint = url + "/route/batch"
+	}
+
+	// The open loop: request i fires at start + i·interval, on its own
+	// goroutine, whether or not earlier requests have come back. A closed
+	// loop (wait for the answer, then send) would throttle itself exactly
+	// when the daemon slows down and hide the tail this tool exists to see.
+	var (
+		hist    obs.LatencyHist
+		sent    atomic.Int64
+		errs    atomic.Int64
+		shed    atomic.Int64
+		success atomic.Int64
+		failed  atomic.Int64
+		wg      sync.WaitGroup
+	)
+	client := &http.Client{Timeout: *timeout + 5*time.Second}
+	start := time.Now()
+	for i := 0; i < ticks; i++ {
+		if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(body []byte) {
+			defer wg.Done()
+			sent.Add(1)
+			t0 := time.Now()
+			resp, err := client.Post(endpoint, "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs.Add(1)
+				return
+			}
+			hist.Record(time.Since(t0))
+			classify(resp, *batch, &shed, &success, &failed)
+		}(bodies[i])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	queries := sent.Load() * int64(*batch)
+	// Success rate is over queries the daemon accepted: shedding is backpressure
+	// working as designed and scored separately; transport errors count against
+	// success (the service failed to answer at all).
+	answered := queries - shed.Load()
+	s := summary{
+		RPS:      *rps,
+		Duration: elapsed.Seconds(),
+		Batch:    *batch,
+		Sent:     sent.Load(),
+		Queries:  queries,
+		Errors:   errs.Load(),
+		Shed:     shed.Load(),
+		Success:  success.Load(),
+		Failed:   failed.Load() + errs.Load()*int64(*batch),
+		P50Ms:    ms(hist.Quantile(0.50)),
+		P95Ms:    ms(hist.Quantile(0.95)),
+		P99Ms:    ms(hist.Quantile(0.99)),
+		GateP99:  *maxP99,
+		GateSucc: *minSucc,
+	}
+	if queries > 0 {
+		s.ShedRate = float64(s.Shed) / float64(queries)
+	}
+	if answered > 0 {
+		s.SuccRate = float64(s.Success) / float64(answered)
+	}
+	s.GatesPass = (*maxP99 <= 0 || s.P99Ms <= *maxP99) && (*minSucc <= 0 || s.SuccRate >= *minSucc)
+
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return 1, err
+	}
+	if !s.GatesPass {
+		return 1, fmt.Errorf("gates failed: p99 %.1fms (max %.1f), success %.4f (min %.4f)",
+			s.P99Ms, *maxP99, s.SuccRate, *minSucc)
+	}
+	return 0, nil
+}
+
+// classify folds one HTTP response into the query counters. For a batch,
+// per-item statuses are scored individually; an envelope-level rejection
+// scores every query of the batch at once.
+func classify(resp *http.Response, batch int, shed, success, failed *atomic.Int64) {
+	defer resp.Body.Close()
+	if batch > 1 && resp.StatusCode == http.StatusOK {
+		var br serve.BatchRouteResponse
+		if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+			failed.Add(int64(batch))
+			return
+		}
+		for _, it := range br.Items {
+			scoreStatus(it.Status, 1, shed, success, failed)
+		}
+		return
+	}
+	scoreStatus(resp.StatusCode, int64(batch), shed, success, failed)
+}
+
+// scoreStatus maps one status onto the counters: 200 is a definitive answer
+// (delivered or a proven dead end — the service did its job), 429/503 is
+// load shedding, anything else is a failure.
+func scoreStatus(status int, weight int64, shed, success, failed *atomic.Int64) {
+	switch status {
+	case http.StatusOK:
+		success.Add(weight)
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		shed.Add(weight)
+	default:
+		failed.Add(weight)
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

@@ -162,6 +162,7 @@ func runCtx(ctx context.Context, args []string) (int, error) {
 		NewObjective: func(t int) route.Objective {
 			return route.NewStandard(g, t)
 		},
+		StandardPhi: true,
 	}
 	worst := 0
 	for i := 0; i < episodes; i++ {

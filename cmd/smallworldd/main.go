@@ -4,16 +4,18 @@
 // (graph, protocol) pairs, retrying transient failures with backoff, and
 // draining in-flight episodes on SIGTERM before exit.
 //
-// Endpoints: POST /route, GET /healthz, GET /readyz, GET /metrics,
-// GET /debug/vars, GET /debug/trace, GET /debug/pprof/*, POST /admin/swap
-// (see internal/serve). Every response carries an X-Request-ID header, and
-// the same id labels every structured log line of the request.
+// Endpoints: POST /route, POST /route/batch, GET /healthz, GET /readyz,
+// GET /metrics, GET /debug/vars, GET /debug/trace, GET /debug/pprof/*,
+// POST /admin/swap (see internal/serve). Every response carries an
+// X-Request-ID header, and the same id labels every structured log line of
+// the request.
 //
 // Examples:
 //
 //	smallworldd -n 100000 -log-format json -trace-sample 0.01 &
 //	curl -s localhost:8080/route -d '{"s": 3, "t": 99, "protocol": "phi-dfs"}'
 //	curl -s localhost:8080/route -d '{"s": 3, "t": 99, "faults": [{"model": "edge-drop", "rate": 0.2}]}'
+//	curl -s localhost:8080/route/batch -d '{"items": [{"s": 3, "t": 99}, {"s": 7, "t": 42}]}'
 //	curl -s localhost:8080/metrics                                 # Prometheus text exposition
 //	curl -s localhost:8080/debug/trace                             # sampled trajectories, JSONL
 //	curl -s localhost:8080/admin/swap -d '{"n": 50000, "seed": 7}'
@@ -102,6 +104,7 @@ func run(args []string, ready chan<- string) error {
 		NewObjective: func(t int) route.Objective {
 			return route.NewStandard(g, t)
 		},
+		StandardPhi: true,
 	}
 
 	var tracer *obs.Tracer

@@ -53,7 +53,7 @@ const defaultCheckpointBatch = 64
 // batchErr carries the same semantics as par.ForEachCtx on the plain path
 // (ctx cancellation, contained panics); fatal carries journal and decode
 // failures that must abort the run without a partial report.
-func runCheckpointedBatches(ctx context.Context, cfg MilgramConfig, episodes []episode, runOne func(i int)) (batchErr, fatal error) {
+func runCheckpointedBatches(ctx context.Context, cfg MilgramConfig, episodes []episode, runOne func(w, i int)) (batchErr, fatal error) {
 	size := cfg.CheckpointBatch
 	if size <= 0 {
 		size = defaultCheckpointBatch
@@ -76,7 +76,9 @@ func runCheckpointedBatches(ctx context.Context, cfg MilgramConfig, episodes []e
 		if err := ctx.Err(); err != nil {
 			return err, nil
 		}
-		if err := par.ForEachCtx(ctx, hi-lo, 0, func(i int) { runOne(lo + i) }); err != nil {
+		// Worker indices stay within the caller's state slice: the batch is
+		// no larger than the full episode range the states were sized for.
+		if err := par.ForEachWorkerCtx(ctx, hi-lo, 0, func(w, i int) { runOne(w, lo+i) }); err != nil {
 			return err, nil
 		}
 		for i := lo; i < hi; i++ {

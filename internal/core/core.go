@@ -50,6 +50,14 @@ type Network struct {
 	// default models use the paper's phi; hyperbolic networks may use
 	// phi_H, Kleinberg grids use lattice distance.
 	NewObjective func(t int) route.Objective
+	// StandardPhi declares that NewObjective is exactly the standard GIRG
+	// objective route.NewStandard(Graph, t) — the promise that lets the
+	// engine take the concrete zero-allocation fast path (route.GreedyCSR)
+	// for greedy episodes instead of building an Objective closure per
+	// episode. Constructors that route by anything else (phi_H, lattice
+	// distance, custom factories) leave it false and routing falls back to
+	// the interface path; setting it untruthfully changes routing results.
+	StandardPhi bool
 
 	giant []int // lazily computed giant component
 }
@@ -66,6 +74,7 @@ func NewGIRG(p girg.Params, seed uint64, opts girg.Options) (*Network, error) {
 		NewObjective: func(t int) route.Objective {
 			return route.NewStandard(g, t)
 		},
+		StandardPhi: true,
 	}, nil
 }
 
@@ -89,7 +98,7 @@ func NewHRG(p hrg.Params, seed uint64, hyperbolicObjective bool) (*Network, erro
 		obj = func(t int) route.Objective { return hrg.NewObjective(p, g, t) }
 		label = fmt.Sprintf("hrg(n=%d,alphaH=%g,T=%g,phiH)", p.N, p.AlphaH, p.TH)
 	}
-	return &Network{Graph: g, Label: label, NewObjective: obj}, nil
+	return &Network{Graph: g, Label: label, NewObjective: obj, StandardPhi: !hyperbolicObjective}, nil
 }
 
 // NewKleinbergGrid samples Kleinberg's lattice model routing by lattice
@@ -186,14 +195,35 @@ func (b *budgetGraph) Neighbors(v int) []int32 {
 	return b.inner.Neighbors(v)
 }
 
-// runEpisode runs one protocol episode, feeding the engine counters,
-// enforcing the optional hop and wall-time budgets, and converting a
-// protocol panic (possible with externally registered protocols) into an
-// error instead of tearing down the whole batch. A budget cut is not an
-// error: it returns a failed Result classified route.FailDeadline whose
-// path is just the source (the protocol's internal state is opaque, so the
-// partial trajectory is not recoverable).
-func runEpisode(g route.Graph, p route.Protocol, obj route.Objective, s int, maxHops int, timeout time.Duration) (res route.Result, err error) {
+// workerState is the reusable per-worker routing state of a batch run: the
+// scratch buffers and the Result every episode of one worker builds into.
+// par.ForEachWorkerCtx guarantees one worker index never runs concurrently
+// with itself, so the state needs no locking.
+type workerState struct {
+	sc  route.Scratch
+	out route.Result
+}
+
+// runEpisode runs one protocol episode into a fresh Result. It is the
+// adapter over runEpisodeInto that the single-route entry points use; batch
+// engines call runEpisodeInto directly with per-worker scratch.
+func runEpisode(g route.Graph, p route.Protocol, obj route.Objective, s int, maxHops int, timeout time.Duration) (route.Result, error) {
+	var res route.Result
+	if err := runEpisodeInto(g, p, obj, s, maxHops, timeout, nil, &res); err != nil {
+		return route.Result{}, err
+	}
+	return res, nil
+}
+
+// runEpisodeInto runs one protocol episode into the caller-owned out
+// (reusing its Path backing array) over the caller's scratch, feeding the
+// engine counters, enforcing the optional hop and wall-time budgets, and
+// converting a protocol panic (possible with externally registered
+// protocols) into an error instead of tearing down the whole batch. A
+// budget cut is not an error: out becomes a failed Result classified
+// route.FailDeadline whose path is just the source (the protocol's internal
+// state is opaque, so the partial trajectory is not recoverable).
+func runEpisodeInto(g route.Graph, p route.Protocol, obj route.Objective, s int, maxHops int, timeout time.Duration, sc *route.Scratch, out *route.Result) (err error) {
 	start := time.Now()
 	if maxHops > 0 || timeout > 0 {
 		bg := &budgetGraph{inner: g, maxQueries: maxHops}
@@ -208,17 +238,17 @@ func runEpisode(g route.Graph, p route.Protocol, obj route.Objective, s int, max
 			return
 		}
 		if _, ok := r.(budgetStop); ok {
-			res = route.Result{Path: []int{s}, Unique: 1, Stuck: -1, Failure: route.FailDeadline}
-			recordEpisode(res, time.Since(start))
+			*out = route.Result{Path: append(out.Path[:0], s), Unique: 1, Stuck: -1, Failure: route.FailDeadline}
+			recordEpisode(*out, time.Since(start))
 			err = nil
 			return
 		}
 		recordPanic()
 		err = fmt.Errorf("core: protocol %q panicked routing from %d: %v", p.Name(), s, r)
 	}()
-	res = p.Route(g, obj, s)
-	recordEpisode(res, time.Since(start))
-	return res, nil
+	route.RouteInto(p, g, obj, s, sc, out)
+	recordEpisode(*out, time.Since(start))
+	return nil
 }
 
 // MilgramConfig configures a batch routing experiment.
@@ -384,31 +414,52 @@ func RunMilgramCtx(ctx context.Context, nw *Network, cfg MilgramConfig) (Milgram
 	// decisions are independent of worker count and scheduling.
 	bound := cfg.Faults.Bind(nw.Graph)
 
-	// Route every pair; episodes are deterministic and independent.
+	// Route every pair; episodes are deterministic and independent. Each
+	// worker owns one workerState whose scratch buffers and Result are
+	// reused across every episode that worker runs, so steady-state batch
+	// routing stops allocating a Result path per episode. Greedy episodes on
+	// a standard-phi network additionally skip the per-episode Objective
+	// closure entirely through the concrete CSR fast path.
+	workers := par.Workers(len(pairs), 0)
+	states := make([]workerState, workers)
+	_, isGreedy := proto.(route.GreedyRouter)
+	csrFast := isGreedy && nw.StandardPhi && cfg.Objective == nil && bound.Empty()
 	episodes := make([]episode, len(pairs))
-	runOne := func(i int) {
+	runOne := func(w, i int) {
+		ws := &states[w]
 		p := pairs[i]
-		eg, eobj := route.Graph(nw.Graph), objective(p.t)
-		if !bound.Empty() {
-			if bound.Crashed(p.s) || bound.Crashed(p.t) {
-				// Delivery from/to a crashed vertex is impossible; classify
-				// without running the protocol (the episode still counts).
-				recordEpisode(route.Result{Path: []int{p.s}, Unique: 1, Stuck: -1,
-					Failure: route.FailCrashedTarget}, 0)
-				episodes[i] = episode{done: true, failure: route.FailCrashedTarget}
-				return
-			}
-			eg, eobj = bound.View(eg, eobj, i)
-		}
-		res, err := runEpisode(eg, proto, eobj, p.s, cfg.MaxHops, cfg.EpisodeTimeout)
-		if err != nil {
-			episodes[i] = episode{done: true, err: err}
+		if !bound.Empty() && (bound.Crashed(p.s) || bound.Crashed(p.t)) {
+			// Delivery from/to a crashed vertex is impossible; classify
+			// without running the protocol (the episode still counts).
+			recordEpisode(route.Result{Path: []int{p.s}, Unique: 1, Stuck: -1,
+				Failure: route.FailCrashedTarget}, 0)
+			episodes[i] = episode{done: true, failure: route.FailCrashedTarget}
 			return
 		}
+		if csrFast {
+			start := time.Now()
+			b := route.Budget{MaxScans: cfg.MaxHops}
+			if cfg.EpisodeTimeout > 0 {
+				b.Deadline = start.Add(cfg.EpisodeTimeout)
+			}
+			route.GreedyCSR(nw.Graph, p.t, p.s, b, &ws.sc, &ws.out)
+			recordEpisode(ws.out, time.Since(start))
+		} else {
+			eg, eobj := route.Graph(nw.Graph), objective(p.t)
+			if !bound.Empty() {
+				eg, eobj = bound.View(eg, eobj, i)
+			}
+			if err := runEpisodeInto(eg, proto, eobj, p.s, cfg.MaxHops, cfg.EpisodeTimeout, &ws.sc, &ws.out); err != nil {
+				episodes[i] = episode{done: true, err: err}
+				return
+			}
+		}
+		res := &ws.out
 		ep := episode{done: true, success: res.Success, truncated: res.Truncated,
 			failure: res.Failure, moves: res.Moves}
 		if cfg.Observer != nil {
-			ep.path = res.Path
+			// The worker's Result is reused next episode; replay needs a copy.
+			ep.path = append([]int(nil), res.Path...)
 		}
 		if res.Success && cfg.ComputeStretch {
 			// Stretch is measured against the fault-free graph: injected
@@ -421,7 +472,7 @@ func RunMilgramCtx(ctx context.Context, nw *Network, cfg MilgramConfig) (Milgram
 	}
 	var batchErr error
 	if cfg.Checkpoint == nil {
-		batchErr = par.ForEachCtx(ctx, len(pairs), 0, runOne)
+		batchErr = par.ForEachWorkerCtx(ctx, len(pairs), workers, runOne)
 	} else {
 		var fatal error
 		batchErr, fatal = runCheckpointedBatches(ctx, cfg, episodes, runOne)

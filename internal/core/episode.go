@@ -45,31 +45,54 @@ type EpisodeConfig struct {
 // process-wide engine counters, so services built on this entry point get
 // the expvar taxonomy for free.
 func (nw *Network) RouteEpisode(cfg EpisodeConfig) (route.Result, error) {
-	p, err := resolve(cfg.Protocol)
-	if err != nil {
+	var res route.Result
+	if err := nw.RouteEpisodeInto(cfg, nil, &res); err != nil {
 		return route.Result{}, err
-	}
-	if cfg.S < 0 || cfg.S >= nw.Graph.N() || cfg.T < 0 || cfg.T >= nw.Graph.N() {
-		return route.Result{}, fmt.Errorf("core: vertex pair (%d, %d) out of range (n = %d)", cfg.S, cfg.T, nw.Graph.N())
-	}
-	obj := nw.NewObjective(cfg.T)
-	eg := route.Graph(nw.Graph)
-	eobj := obj
-	bound := cfg.Faults.Bind(nw.Graph)
-	if !bound.Empty() {
-		if bound.Crashed(cfg.S) || bound.Crashed(cfg.T) {
-			res := route.Result{Path: []int{cfg.S}, Unique: 1, Stuck: -1, Failure: route.FailCrashedTarget}
-			recordEpisode(res, 0)
-			return res, nil
-		}
-		eg, eobj = bound.View(eg, eobj, cfg.Episode)
-	}
-	res, err := runEpisode(eg, p, eobj, cfg.S, cfg.MaxHops, cfg.Timeout)
-	if err != nil {
-		return route.Result{}, err
-	}
-	if cfg.Observer != nil {
-		route.Observe(nw.Graph, obj, res, cfg.Episode, cfg.Observer)
 	}
 	return res, nil
+}
+
+// RouteEpisodeInto is RouteEpisode building into a caller-owned Result over
+// reusable scratch — the entry point for services that route many episodes
+// and pool their per-episode state (internal/serve). out's Path backing
+// array is reused; callers that keep paths past the next episode copy them
+// (route.Result.CopyInto). sc may be nil at the cost of per-episode
+// allocations. Greedy episodes on a standard-phi network without faults run
+// the concrete zero-allocation fast path (route.GreedyCSR).
+func (nw *Network) RouteEpisodeInto(cfg EpisodeConfig, sc *route.Scratch, out *route.Result) error {
+	p, err := resolve(cfg.Protocol)
+	if err != nil {
+		return err
+	}
+	if cfg.S < 0 || cfg.S >= nw.Graph.N() || cfg.T < 0 || cfg.T >= nw.Graph.N() {
+		return fmt.Errorf("core: vertex pair (%d, %d) out of range (n = %d)", cfg.S, cfg.T, nw.Graph.N())
+	}
+	bound := cfg.Faults.Bind(nw.Graph)
+	if !bound.Empty() && (bound.Crashed(cfg.S) || bound.Crashed(cfg.T)) {
+		*out = route.Result{Path: append(out.Path[:0], cfg.S), Unique: 1, Stuck: -1, Failure: route.FailCrashedTarget}
+		recordEpisode(*out, 0)
+		return nil
+	}
+	_, isGreedy := p.(route.GreedyRouter)
+	if isGreedy && nw.StandardPhi && bound.Empty() && sc != nil {
+		start := time.Now()
+		b := route.Budget{MaxScans: cfg.MaxHops}
+		if cfg.Timeout > 0 {
+			b.Deadline = start.Add(cfg.Timeout)
+		}
+		route.GreedyCSR(nw.Graph, cfg.T, cfg.S, b, sc, out)
+		recordEpisode(*out, time.Since(start))
+	} else {
+		eg, eobj := route.Graph(nw.Graph), nw.NewObjective(cfg.T)
+		if !bound.Empty() {
+			eg, eobj = bound.View(eg, eobj, cfg.Episode)
+		}
+		if err := runEpisodeInto(eg, p, eobj, cfg.S, cfg.MaxHops, cfg.Timeout, sc, out); err != nil {
+			return err
+		}
+	}
+	if cfg.Observer != nil {
+		route.Observe(nw.Graph, nw.NewObjective(cfg.T), *out, cfg.Episode, cfg.Observer)
+	}
+	return nil
 }

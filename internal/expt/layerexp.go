@@ -68,7 +68,7 @@ func runE15(cfg Config) (Table, error) {
 				continue // trivial paths have no layer structure to check
 			}
 			analyzed++
-			a := scheme.AnalyzePath(route.Trajectory(g, obj, res))
+			a := scheme.AnalyzePath(route.Moves(g, obj, res, 0))
 			if a.Monotone {
 				monotone++
 			}

@@ -141,7 +141,7 @@ func runF1(cfg Config) (Table, error) {
 	// Keep the longest successful trajectory over repeated graph draws (at
 	// small scales paths are short; at full scale a >= 6-hop path appears
 	// within a few attempts).
-	var hops []route.Hop
+	var hops []route.MoveEvent
 	for attempt := 0; attempt < 50; attempt++ {
 		g, err := girg.Generate(p, cfg.Seed+500+uint64(attempt), girg.Options{Planted: planted})
 		if err != nil {
@@ -150,7 +150,7 @@ func runF1(cfg Config) (Table, error) {
 		obj := route.NewStandard(g, 1)
 		res := route.Greedy(g, obj, 0)
 		if res.Success && len(res.Path) > len(hops) {
-			hops = route.Trajectory(g, obj, res)
+			hops = route.Moves(g, obj, res, 0)
 			if res.Moves >= 6 {
 				break
 			}

@@ -158,6 +158,12 @@ func (g *Graph) Neighbors(v int) []int32 {
 	return g.adj[g.offsets[v]:g.offsets[v+1]]
 }
 
+// CSR exposes the raw compressed-sparse-row arrays: offsets has n+1 entries
+// and adj[offsets[v]:offsets[v+1]] is the sorted adjacency list of v. Both
+// slices alias internal storage and must not be modified; hot paths
+// (route.GreedyCSR) scan them directly to skip interface dispatch.
+func (g *Graph) CSR() (offsets, adj []int32) { return g.offsets, g.adj }
+
 // HasEdge reports whether {u, v} is an edge, via binary search.
 func (g *Graph) HasEdge(u, v int) bool {
 	list := g.Neighbors(u)

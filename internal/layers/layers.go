@@ -170,9 +170,11 @@ type PathAnalysis struct {
 	PhaseSwitches int
 }
 
-// AnalyzePath classifies every hop of a routing trajectory against the
-// scheme. The final hop (the target, objective +Inf) is skipped.
-func (s *Scheme) AnalyzePath(hops []route.Hop) PathAnalysis {
+// AnalyzePath classifies every move of a routing trajectory against the
+// scheme. The final move (the target, objective +Inf) is skipped. The input
+// is the MoveEvent stream of one episode (route.Moves or a collected
+// Observer); only the (W, Score) coordinates are read.
+func (s *Scheme) AnalyzePath(hops []route.MoveEvent) PathAnalysis {
 	a := PathAnalysis{Monotone: true}
 	seen := map[int]bool{}
 	prevOrder := -1

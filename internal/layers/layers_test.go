@@ -133,7 +133,7 @@ func TestAnalyzePathSynthetic(t *testing.T) {
 		t.Fatal(err)
 	}
 	// A clean two-phase trajectory: weights climb, then objectives climb.
-	hops := []route.Hop{
+	hops := []route.MoveEvent{
 		{V: 0, W: 2, Score: 1e-6},        // below scheme
 		{V: 1, W: 10, Score: 2e-6},       // weight layer 0
 		{V: 2, W: 600, Score: 1e-7},      // later weight layer (still V1)
@@ -164,7 +164,7 @@ func TestAnalyzePathDetectsBacktrack(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hops := []route.Hop{
+	hops := []route.MoveEvent{
 		{W: 600, Score: 1e-7}, // high weight layer
 		{W: 10, Score: 2e-6},  // back to layer 0: non-monotone
 		{W: 600, Score: 1e-7}, // revisit
@@ -218,7 +218,7 @@ func TestRealGreedyPathsFollowLayers(t *testing.T) {
 			continue
 		}
 		analyzed++
-		a := s.AnalyzePath(route.Trajectory(g, obj, res))
+		a := s.AnalyzePath(route.Moves(g, obj, res, 0))
 		if a.Monotone {
 			monotone++
 		}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLatencyHistQuantileAccuracy records a known distribution and checks
+// every decile estimate is within the histogram's ~6% relative-error bound.
+func TestLatencyHistQuantileAccuracy(t *testing.T) {
+	var h LatencyHist
+	// 10k samples spread over four orders of magnitude: 100µs .. 1s.
+	samples := make([]time.Duration, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		// Deterministic log-uniform spread.
+		exp := 5 + 4*float64(i)/10000 // 10^5 .. 10^9 ns
+		d := time.Duration(math.Pow(10, exp))
+		samples = append(samples, d)
+		h.Record(d)
+	}
+	if h.Count() != 10000 {
+		t.Fatalf("Count = %d, want 10000", h.Count())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.95, 0.99, 1.0} {
+		got := h.Quantile(q)
+		want := samples[int(q*float64(len(samples)-1))]
+		// The estimate is an upper bound within one sub-bucket (~1/16).
+		if got < want || float64(got) > float64(want)*1.10 {
+			t.Errorf("q=%.2f: got %v, want in [%v, %v]", q, got, want, time.Duration(float64(want)*1.10))
+		}
+	}
+}
+
+// TestLatencyHistEdges covers the degenerate inputs: empty histogram, zero
+// duration, the overflow bucket, and out-of-range q.
+func TestLatencyHistEdges(t *testing.T) {
+	var h LatencyHist
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", got)
+	}
+	h.Record(0)
+	if got := h.Quantile(0.5); got != time.Microsecond {
+		t.Fatalf("zero-duration quantile = %v, want 1µs upper bound", got)
+	}
+	var h2 LatencyHist
+	h2.Record(100 * time.Hour) // far past the last octave
+	if got := h2.Quantile(1.0); got <= 0 {
+		t.Fatalf("overflow bucket quantile = %v, want positive", got)
+	}
+	h2.Record(time.Millisecond)
+	if got, want := h2.Quantile(-1), h2.Quantile(0); got != want {
+		t.Errorf("Quantile(-1) = %v != Quantile(0) = %v", got, want)
+	}
+	if got, want := h2.Quantile(2), h2.Quantile(1); got != want {
+		t.Errorf("Quantile(2) = %v != Quantile(1) = %v", got, want)
+	}
+}
+
+// TestLatencyHistMonotone: as durations increase, the buckets they land in
+// have non-decreasing indexes and strictly increasing upper bounds that
+// never undercut the duration — the properties Quantile's scan relies on.
+// (Small octaves leave some sub-bucket indexes unreachable; only reachable
+// buckets matter.)
+func TestLatencyHistMonotone(t *testing.T) {
+	prevIdx, prevUpper := -1, time.Duration(-1)
+	for us := uint64(0); us < 1<<22; us += 1 + us/64 {
+		d := time.Duration(us) * time.Microsecond
+		i := latBucket(d)
+		if i < prevIdx {
+			t.Fatalf("bucket index decreased: %v → bucket %d after %d", d, i, prevIdx)
+		}
+		if i == prevIdx {
+			continue
+		}
+		u := latBucketUpper(i)
+		if u <= prevUpper {
+			t.Fatalf("bucket %d upper %v <= previous upper %v", i, u, prevUpper)
+		}
+		if u <= d {
+			t.Fatalf("bucket %d upper %v does not bound %v", i, u, d)
+		}
+		prevIdx, prevUpper = i, u
+	}
+}
+
+// TestLatencyHistConcurrent hammers Record from many goroutines; run under
+// -race. The total must come out exact.
+func TestLatencyHistConcurrent(t *testing.T) {
+	var h LatencyHist
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(w*1000+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("Count = %d, want %d", h.Count(), workers*per)
+	}
+	if q := h.Quantile(0.5); q <= 0 {
+		t.Fatalf("median = %v", q)
+	}
+}

@@ -138,25 +138,49 @@ const ctxChunk = 16
 // naming the lowest panicking index (taking precedence over a concurrent
 // cancellation). A nil error means every fn(i) ran exactly once.
 func ForEachCtx(ctx context.Context, n, workers int, fn func(i int)) error {
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	if n <= 0 {
-		return nil
-	}
+	return ForEachWorkerCtx(ctx, n, workers, func(_, i int) { fn(i) })
+}
+
+// Workers resolves the worker count the ForEach family uses for n
+// invocations with a requested pool size of workers (0 = GOMAXPROCS): the
+// requested size capped at n, at least 1. Callers that keep per-worker state
+// size their state slice with it before calling ForEachWorkerCtx with the
+// same (n, workers).
+func Workers(n, workers int) int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
 		workers = n
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ForEachWorkerCtx is ForEachCtx for callers that thread per-worker state
+// through the batch: fn receives (w, i) where w identifies the claiming
+// worker, 0 <= w < Workers(n, workers). Distinct invocations with the same w
+// never run concurrently, so fn may freely reuse state indexed by w — the
+// hook the routing engine uses to run every episode of one worker on the
+// same scratch buffers. Chunking, cancellation and panic containment are
+// exactly ForEachCtx's.
+func ForEachWorkerCtx(ctx context.Context, n, workers int, fn func(w, i int)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(n, workers)
 	if workers == 1 {
 		for base := 0; base < n; base += ctxChunk {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 			for i := base; i < base+ctxChunk && i < n; i++ {
-				if pe := invoke(fn, i); pe != nil {
+				if pe := invokeW(fn, 0, i); pe != nil {
 					return pe
 				}
 			}
@@ -171,7 +195,7 @@ func ForEachCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for ctx.Err() == nil && !stopped.Load() {
 				base := int(atomic.AddInt64(&next, ctxChunk)) - ctxChunk
@@ -179,18 +203,29 @@ func ForEachCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 					return
 				}
 				for i := base; i < base+ctxChunk && i < n; i++ {
-					if pe := invoke(fn, i); pe != nil {
+					if pe := invokeW(fn, w, i); pe != nil {
 						tracker.record(pe)
 						stopped.Store(true)
 						return
 					}
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if tracker.pe != nil {
 		return tracker.pe
 	}
 	return ctx.Err()
+}
+
+// invokeW runs fn(w, i), converting a panic into a *PanicError naming i.
+func invokeW(fn func(w, i int), w, i int) (pe *PanicError) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	fn(w, i)
+	return nil
 }

@@ -13,6 +13,21 @@ func (GreedyRouter) Route(g Graph, obj Objective, s int) Result {
 	return Greedy(g, obj, s)
 }
 
+// RouteInto is the zero-alloc v2 path: it routes into out, reusing out's
+// Path backing array (sc is not needed — greedy keeps no aux state and
+// never revisits a vertex, so Unique is the path length).
+func (GreedyRouter) RouteInto(g Graph, obj Objective, s int, sc *Scratch, out *Result) {
+	greedyInto(g, obj, s, out)
+}
+
+// RouteBatch routes the batch episode-by-episode; greedy has no cross-episode
+// setup to amortize beyond the reused buffers.
+func (GreedyRouter) RouteBatch(g Graph, objs []Objective, srcs []int, sc *Scratch, out []Result) {
+	for i := range srcs {
+		greedyInto(g, objs[i], srcs[i], &out[i])
+	}
+}
+
 func init() { Register(GreedyRouter{}) }
 
 // Graph is the read-only view routing protocols need. *graph.Graph
@@ -24,20 +39,33 @@ type Graph interface {
 }
 
 // Greedy runs Algorithm 1 from s toward obj.Target and returns the episode.
+// It is a one-line adapter over the RouteInto convention.
 func Greedy(g Graph, obj Objective, s int) Result {
-	res := newResult(s)
+	var res Result
+	greedyInto(g, obj, s, &res)
+	return res
+}
+
+// greedyInto is Algorithm 1 building into out. A greedy path visits every
+// vertex at most once (scores strictly increase along it, ties broken by
+// id), so Unique is simply the path length and no visited set is needed.
+func greedyInto(g Graph, obj Objective, s int, out *Result) {
+	out.reset(s)
 	v := s
 	for v != obj.Target {
 		u := bestNeighborIface(g, obj, v)
 		if u < 0 || !better(obj.Score(u), obj.Score(v), u, v) {
-			res.Stuck = v
-			return res.finish()
+			out.Stuck = v
+			out.Unique = len(out.Path)
+			out.classify()
+			return
 		}
-		res.step(u)
+		out.step(u)
 		v = u
 	}
-	res.Success = true
-	return res.finish()
+	out.Success = true
+	out.Unique = len(out.Path)
+	out.classify()
 }
 
 func bestNeighborIface(g Graph, obj Objective, v int) int {
@@ -54,7 +82,11 @@ func bestNeighborIface(g Graph, obj Objective, v int) int {
 }
 
 // Hop is one point of a routing trajectory: the vertex, its model weight
-// and its objective value. Experiment F1 plots these per step.
+// and its objective value.
+//
+// Deprecated: Hop predates the Observer hook and duplicates MoveEvent minus
+// the (Episode, Step) coordinates. Use MoveEvent and Moves (or Observe
+// directly); Hop remains only for pre-observer callers.
 type Hop struct {
 	V     int
 	W     float64
@@ -63,10 +95,15 @@ type Hop struct {
 
 // Trajectory expands a result's path into per-hop (weight, objective)
 // records for trajectory analysis (Figure 1).
+//
+// Deprecated: use Moves, which returns the same (V, W, Score) stream as
+// MoveEvents — the type every observer and analyzer already consumes.
+// Trajectory is a thin conversion over the same replay.
 func Trajectory(g Graph, obj Objective, res Result) []Hop {
-	hops := make([]Hop, len(res.Path))
-	for i, v := range res.Path {
-		hops[i] = Hop{V: v, W: g.Weight(v), Score: obj.Score(v)}
+	evs := Moves(g, obj, res, 0)
+	hops := make([]Hop, len(evs))
+	for i, ev := range evs {
+		hops[i] = Hop{V: ev.V, W: ev.W, Score: ev.Score}
 	}
 	return hops
 }

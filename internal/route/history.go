@@ -55,13 +55,25 @@ func (h *frontierHeap) Pop() interface{} {
 	return x
 }
 
-// Route runs the history-patched protocol from s toward obj.Target.
+// Route runs the history-patched protocol from s toward obj.Target. It is a
+// one-line adapter over the RouteInto convention.
 func (a HistoryPatch) Route(g Graph, obj Objective, s int) Result {
+	var res Result
+	a.RouteInto(g, obj, s, nil, &res)
+	return res
+}
+
+// RouteInto routes into out, reusing out's Path backing array and sc's
+// unique-count marks. The protocol's own exploration state (visited set,
+// frontier heap) is still allocated per episode — history carries
+// per-episode message state by design; only greedy is the zero-alloc path.
+func (a HistoryPatch) RouteInto(g Graph, obj Objective, s int, sc *Scratch, out *Result) {
 	maxMoves := a.MaxMoves
 	if maxMoves == 0 {
 		maxMoves = 64*g.N() + 256
 	}
-	res := newResult(s)
+	out.reset(s)
+	res := out
 	visited := map[int]bool{}
 	frontier := &frontierHeap{}
 
@@ -80,7 +92,8 @@ func (a HistoryPatch) Route(g Graph, obj Objective, s int) Result {
 	for res.Moves <= maxMoves {
 		if pos == obj.Target {
 			res.Success = true
-			return res.finish()
+			res.finalize(sc, g.N())
+			return
 		}
 		// (P1): on a fresh vertex with a strictly better neighbor, move
 		// greedily to the best neighbor.
@@ -104,7 +117,8 @@ func (a HistoryPatch) Route(g Graph, obj Objective, s int) Result {
 		}
 		if !found {
 			res.Stuck = pos
-			return res.finish() // component exhausted
+			res.finalize(sc, g.N()) // component exhausted
+			return
 		}
 		// Walk within the visited subgraph from pos to next.from, then
 		// across the unexplored edge.
@@ -116,7 +130,7 @@ func (a HistoryPatch) Route(g Graph, obj Objective, s int) Result {
 		visit(pos)
 	}
 	res.Truncated = true
-	return res.finish()
+	res.finalize(sc, g.N())
 }
 
 // walkVisited returns the vertices after `from` on a shortest path from
@@ -179,13 +193,23 @@ func (GravityPressure) Name() string { return "gravity-pressure" }
 
 func init() { Register(GravityPressure{}) }
 
-// Route runs gravity-pressure from s toward obj.Target.
+// Route runs gravity-pressure from s toward obj.Target. It is a one-line
+// adapter over the RouteInto convention.
 func (a GravityPressure) Route(g Graph, obj Objective, s int) Result {
+	var res Result
+	a.RouteInto(g, obj, s, nil, &res)
+	return res
+}
+
+// RouteInto routes into out, reusing out's Path backing array and sc's
+// unique-count marks (the per-episode visit counts stay a map).
+func (a GravityPressure) RouteInto(g Graph, obj Objective, s int, sc *Scratch, out *Result) {
 	maxMoves := a.MaxMoves
 	if maxMoves == 0 {
 		maxMoves = 64*g.N() + 256
 	}
-	res := newResult(s)
+	out.reset(s)
+	res := out
 	visits := map[int]int{s: 1}
 	pos := s
 	pressure := false
@@ -193,7 +217,8 @@ func (a GravityPressure) Route(g Graph, obj Objective, s int) Result {
 	for res.Moves <= maxMoves {
 		if pos == obj.Target {
 			res.Success = true
-			return res.finish()
+			res.finalize(sc, g.N())
+			return
 		}
 		if pressure && obj.Score(pos) > stuckScore {
 			pressure = false
@@ -203,7 +228,8 @@ func (a GravityPressure) Route(g Graph, obj Objective, s int) Result {
 			u := bestNeighborIface(g, obj, pos)
 			if u < 0 {
 				res.Stuck = pos
-				return res.finish() // isolated vertex
+				res.finalize(sc, g.N()) // isolated vertex
+				return
 			}
 			if better(obj.Score(u), obj.Score(pos), u, pos) {
 				next = u
@@ -216,7 +242,8 @@ func (a GravityPressure) Route(g Graph, obj Objective, s int) Result {
 			next = leastVisitedNeighbor(g, obj, visits, pos)
 			if next < 0 {
 				res.Stuck = pos
-				return res.finish()
+				res.finalize(sc, g.N())
+				return
 			}
 		}
 		visits[next]++
@@ -224,7 +251,7 @@ func (a GravityPressure) Route(g Graph, obj Objective, s int) Result {
 		pos = next
 	}
 	res.Truncated = true
-	return res.finish()
+	res.finalize(sc, g.N())
 }
 
 // leastVisitedNeighbor returns pos's neighbor with the fewest visits,

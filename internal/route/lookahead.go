@@ -23,6 +23,14 @@ func (LookaheadGreedy) Route(g Graph, obj Objective, s int) Result {
 	return Greedy(g, NewLookahead(g, obj), s)
 }
 
+// RouteInto routes into out, reusing out's Path backing array. The lookahead
+// score cache is built per episode (it memoizes the wrapped objective, which
+// changes with the target), so this path reuses the Result but is not
+// zero-alloc.
+func (LookaheadGreedy) RouteInto(g Graph, obj Objective, s int, sc *Scratch, out *Result) {
+	greedyInto(g, NewLookahead(g, obj), s, out)
+}
+
 func init() { Register(LookaheadGreedy{}) }
 
 // NewLookahead wraps an objective with one-hop lookahead — the "know thy

@@ -37,8 +37,19 @@ const (
 	actBacktrack
 )
 
-// Route runs Algorithm 2 from s toward obj.Target.
+// Route runs Algorithm 2 from s toward obj.Target. It is a one-line adapter
+// over the RouteInto convention.
 func (a PhiDFS) Route(g Graph, obj Objective, s int) Result {
+	var res Result
+	a.RouteInto(g, obj, s, nil, &res)
+	return res
+}
+
+// RouteInto routes into out, reusing out's Path backing array and sc's
+// unique-count marks. The per-vertex DFS state arrays are still allocated
+// per episode — they are the protocol's distributed per-vertex memory, not
+// scratch the caller owns.
+func (a PhiDFS) RouteInto(g Graph, obj Objective, s int, sc *Scratch, out *Result) {
 	n := g.N()
 	maxMoves := a.MaxMoves
 	if maxMoves == 0 {
@@ -61,7 +72,8 @@ func (a PhiDFS) Route(g Graph, obj Objective, s int) Result {
 	mPhi := math.Inf(-1)
 	mLast := s
 
-	res := newResult(s)
+	out.reset(s)
+	res := out
 	pos := s // current message position
 
 	// moveTo performs one message transmission, maintaining
@@ -84,7 +96,8 @@ func (a PhiDFS) Route(g Graph, obj Objective, s int) Result {
 			v := cur
 			if v == obj.Target {
 				res.Success = true
-				return res.finish()
+				res.finalize(sc, n)
+				return
 			}
 			// Line 8: already visited in the current Phi-DFS?
 			if vPhi[v] == mPhi {
@@ -93,12 +106,12 @@ func (a PhiDFS) Route(g Graph, obj Objective, s int) Result {
 			}
 			best := bestNeighborIface(g, obj, v)
 			// Lines 11-12: potentially start a new DFS with Phi = phi(v).
-			if sc := obj.Score(v); sc > mBest {
-				mBest = sc
-				if best >= 0 && obj.Score(best) >= sc {
+			if phiV := obj.Score(v); phiV > mBest {
+				mBest = phiV
+				if best >= 0 && obj.Score(best) >= phiV {
 					started[v] = true
 					prevPhi[v] = mPhi
-					mPhi = sc
+					mPhi = phiV
 				}
 			}
 			// Line 13: INIT_VERTEX.
@@ -145,7 +158,8 @@ func (a PhiDFS) Route(g Graph, obj Objective, s int) Result {
 				}
 				if int(parent[v]) == v {
 					res.Stuck = v
-					return res.finish()
+					res.finalize(sc, n)
+					return
 				}
 				kind, cur = actBacktrack, int(parent[v])
 				continue
@@ -154,13 +168,14 @@ func (a PhiDFS) Route(g Graph, obj Objective, s int) Result {
 				// The bottom-level DFS exhausted the component of s
 				// without finding the target.
 				res.Stuck = v
-				return res.finish()
+				res.finalize(sc, n)
+				return
 			}
 			kind, cur = actBacktrack, int(parent[v])
 		}
 	}
 	res.Truncated = true
-	return res.finish()
+	res.finalize(sc, n)
 }
 
 // nextChild returns v's neighbor with the largest objective that is

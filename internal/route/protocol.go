@@ -114,3 +114,15 @@ func Observe(g Graph, obj Objective, res Result, episode int, obs Observer) {
 		obs.Move(MoveEvent{Episode: episode, Step: i, V: v, W: g.Weight(v), Score: obj.Score(v)})
 	}
 }
+
+// Moves replays a finished episode through Observe and collects its
+// MoveEvents — the slice form of the trajectory for analyzers that want the
+// whole path at once (Figure 1, layer analysis) rather than a streaming
+// observer.
+func Moves(g Graph, obj Objective, res Result, episode int) []MoveEvent {
+	evs := make([]MoveEvent, 0, len(res.Path))
+	Observe(g, obj, res, episode, ObserverFunc(func(ev MoveEvent) {
+		evs = append(evs, ev)
+	}))
+	return evs
+}

@@ -59,8 +59,18 @@ type Result struct {
 	Failure Failure
 }
 
-func newResult(s int) *Result {
-	return &Result{Path: []int{s}, Stuck: -1}
+// reset readies r for a fresh episode starting at s, reusing the Path
+// backing array. Every protocol builds into a *Result through this
+// convention (the RouteInto surface); the legacy value-returning Route entry
+// points are one-line adapters over it.
+func (r *Result) reset(s int) {
+	r.Path = append(r.Path[:0], s)
+	r.Moves = 0
+	r.Unique = 0
+	r.Stuck = -1
+	r.Truncated = false
+	r.Success = false
+	r.Failure = FailNone
 }
 
 func (r *Result) step(v int) {
@@ -68,12 +78,16 @@ func (r *Result) step(v int) {
 	r.Moves++
 }
 
-func (r *Result) finish() Result {
-	seen := make(map[int]struct{}, len(r.Path))
-	for _, v := range r.Path {
-		seen[v] = struct{}{}
-	}
-	r.Unique = len(seen)
+// finalize classifies the finished episode and counts its distinct vertices
+// (allocation-free when a Scratch is supplied). n is the vertex count of the
+// routed graph, sizing the scratch marks.
+func (r *Result) finalize(sc *Scratch, n int) {
+	r.Unique = uniqueCount(r.Path, sc, n)
+	r.classify()
+}
+
+// classify derives the Failure class from the Success/Truncated flags.
+func (r *Result) classify() {
 	switch {
 	case r.Success:
 		r.Failure = FailNone
@@ -82,5 +96,13 @@ func (r *Result) finish() Result {
 	default:
 		r.Failure = FailDeadEnd
 	}
-	return *r
+}
+
+// CopyInto deep-copies r into out, reusing out's Path backing array. Engines
+// use it where a Result built on reusable scratch buffers must outlive the
+// next episode.
+func (r *Result) CopyInto(out *Result) {
+	path := append(out.Path[:0], r.Path...)
+	*out = *r
+	out.Path = path
 }

@@ -1,0 +1,76 @@
+package route
+
+// Scratch is the reusable per-worker state of the v2 routing surface: the
+// buffers an episode needs that would otherwise be allocated fresh per call.
+// One Scratch serves one goroutine at a time; engines keep one per worker
+// (core.RunMilgram) or pool them per request (internal/serve) and thread the
+// same value through every episode that worker runs, so steady-state routing
+// performs zero heap allocations (see RouteInto and GreedyCSR).
+//
+// The zero value is ready to use: buffers grow on first use and are retained
+// across episodes. A Scratch never shrinks; sizing is bounded by the largest
+// graph it has routed on.
+type Scratch struct {
+	// scores/stamps is the epoch-stamped objective cache of the concrete
+	// fast paths (GreedyCSR): scores[v] is valid iff stamps[v] == epoch, so
+	// invalidating the whole cache between episodes is one increment instead
+	// of an O(n) refill.
+	scores []float64
+	stamps []uint32
+	epoch  uint32
+
+	// seen/seenEpoch marks visited vertices (unique-count, adapter paths)
+	// with the same epoch trick.
+	seen      []uint32
+	seenEpoch uint32
+}
+
+// beginScores readies the score cache for a graph on n vertices and a fresh
+// episode: all cached entries from previous episodes become invalid.
+func (sc *Scratch) beginScores(n int) {
+	if len(sc.scores) < n {
+		sc.scores = make([]float64, n)
+		sc.stamps = make([]uint32, n)
+		sc.epoch = 0
+	}
+	sc.epoch++
+	if sc.epoch == 0 { // wrapped: stale stamps could collide, clear them
+		clear(sc.stamps)
+		sc.epoch = 1
+	}
+}
+
+// beginSeen readies the visited-marks buffer for a graph on n vertices.
+func (sc *Scratch) beginSeen(n int) {
+	if len(sc.seen) < n {
+		sc.seen = make([]uint32, n)
+		sc.seenEpoch = 0
+	}
+	sc.seenEpoch++
+	if sc.seenEpoch == 0 {
+		clear(sc.seen)
+		sc.seenEpoch = 1
+	}
+}
+
+// uniqueCount returns the number of distinct vertices in path. With a
+// Scratch it runs allocation-free over the epoch-stamped marks; without one
+// it falls back to a throwaway map (the legacy Route entry points).
+func uniqueCount(path []int, sc *Scratch, n int) int {
+	if sc == nil {
+		seen := make(map[int]struct{}, len(path))
+		for _, v := range path {
+			seen[v] = struct{}{}
+		}
+		return len(seen)
+	}
+	sc.beginSeen(n)
+	unique := 0
+	for _, v := range path {
+		if sc.seen[v] != sc.seenEpoch {
+			sc.seen[v] = sc.seenEpoch
+			unique++
+		}
+	}
+	return unique
+}

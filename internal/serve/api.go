@@ -62,6 +62,76 @@ type RouteResponse struct {
 	ElapsedMs float64 `json:"elapsed_ms"`
 }
 
+// BatchRouteRequest is the body of POST /route/batch: many routing queries
+// against one graph snapshot, admitted as a unit — the whole batch occupies
+// one admission slot and runs its items sequentially on that worker, sharing
+// one request deadline. Items succeed and fail individually (see
+// BatchItemResult.Status); the batch envelope is 200 whenever the batch
+// itself was served.
+type BatchRouteRequest struct {
+	// Graph names the snapshot every item routes on; "" selects "default".
+	Graph string `json:"graph,omitempty"`
+	// Items are the queries, answered in order. An empty batch is 400; a
+	// batch larger than Config.MaxBatch is 413.
+	Items []BatchItem `json:"items"`
+}
+
+// BatchItem is one query of a batch: RouteRequest minus the graph name,
+// which the batch fixes for all items.
+type BatchItem struct {
+	// Protocol is the registered protocol name; "" selects greedy.
+	Protocol string `json:"protocol,omitempty"`
+	// S and T are the source and target vertices.
+	S int `json:"s"`
+	T int `json:"t"`
+	// Faults optionally layers a per-item fault plan.
+	Faults []faults.Spec `json:"faults,omitempty"`
+	// FaultSeed seeds the per-item fault plan (0 = derive from the item).
+	FaultSeed uint64 `json:"fault_seed,omitempty"`
+	// IncludePath asks for the item's full vertex path.
+	IncludePath bool `json:"include_path,omitempty"`
+}
+
+// BatchRouteResponse is the body of a served POST /route/batch.
+type BatchRouteResponse struct {
+	// Graph echoes the resolved snapshot name.
+	Graph string `json:"graph"`
+	// Items holds one result per request item, in request order.
+	Items []BatchItemResult `json:"items"`
+	// ElapsedMs is the server-side wall time of the whole batch.
+	ElapsedMs float64 `json:"elapsed_ms"`
+}
+
+// BatchItemResult is one item's outcome. Status carries the HTTP status the
+// same query would have received from POST /route — 200 for definitive
+// answers (delivered, dead-end, truncated), 4xx for item-level validation
+// errors, 5xx for degraded service (breaker open, deadline, crashed
+// endpoint) — so batch clients branch exactly like single-query clients.
+type BatchItemResult struct {
+	// Status is the per-item HTTP-equivalent status (see StatusFor).
+	Status int `json:"status"`
+	// Error carries the item-level rejection message (unknown protocol,
+	// vertex out of range, breaker open); empty when the item routed.
+	Error string `json:"error,omitempty"`
+	// RetryAfterMs hints when a breaker-rejected item is worth retrying.
+	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
+	// Protocol echoes the resolved protocol name of a routed item.
+	Protocol string `json:"protocol,omitempty"`
+	S        int    `json:"s"`
+	T        int    `json:"t"`
+	// Success, Failure, Moves, Unique and Path describe the final attempt,
+	// exactly as in RouteResponse.
+	Success bool   `json:"success"`
+	Failure string `json:"failure,omitempty"`
+	Moves   int    `json:"moves"`
+	Unique  int    `json:"unique"`
+	Path    []int  `json:"path,omitempty"`
+	// Attempts counts routing attempts of this item (>1 after retries).
+	Attempts int `json:"attempts"`
+	// ElapsedMs is the item's share of the batch wall time.
+	ElapsedMs float64 `json:"elapsed_ms"`
+}
+
 // ErrorResponse is the body of every non-2xx response the daemon writes.
 type ErrorResponse struct {
 	Error string `json:"error"`

@@ -70,6 +70,11 @@ type Config struct {
 	// RetryAfter is the Retry-After hint attached to 429 responses
 	// (default 1s); opened breakers hint their own remaining open time.
 	RetryAfter time.Duration
+	// MaxBatch bounds the items of one POST /route/batch request; larger
+	// batches are rejected with 413 before any routing happens (default 256).
+	// A batch occupies one admission slot for all its items, so the bound is
+	// what keeps one giant batch from starving the pool.
+	MaxBatch int
 	// Logger is the server's structured logger; every request gets a
 	// request-scoped child carrying the X-Request-ID. nil uses slog.Default.
 	Logger *slog.Logger
@@ -102,6 +107,9 @@ func (c Config) withDefaults() Config {
 	c.Retry = c.Retry.withDefaults()
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
 	}
 	return c
 }
@@ -277,6 +285,7 @@ func (s *Server) Drain(ctx context.Context) error {
 // Handler returns the daemon's HTTP handler:
 //
 //	POST /route        one routing query (RouteRequest → RouteResponse)
+//	POST /route/batch  many queries, one admission slot (BatchRouteRequest)
 //	GET  /healthz      liveness (200 while the process runs)
 //	GET  /readyz       readiness (503 while draining or graphless)
 //	GET  /metrics      Prometheus text exposition (engine, pool, breakers,
@@ -291,6 +300,7 @@ func (s *Server) Drain(ctx context.Context) error {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/route", s.handleRoute)
+	mux.HandleFunc("/route/batch", s.handleRouteBatch)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -426,162 +436,17 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	logger.Debug("route admitted", "graph", graphName, "protocol", protoName,
 		"s", req.S, "t", req.T, "inflight", s.pool.InFlight(), "waiting", s.pool.Waiting())
 
-	// Circuit breaker: fail fast while this (graph, protocol) is unhealthy.
-	br := s.breaker(graphName, protoName)
-	if retryIn, err := br.Allow(); err != nil {
-		logger.Warn("route rejected", "reason", "breaker open",
-			"graph", graphName, "protocol", protoName, "retry_in_ms", retryIn.Milliseconds())
-		writeError(w, http.StatusServiceUnavailable, retryIn, "circuit breaker open for %s/%s",
-			graphName, protoName)
+	// From here /route is a batch of one: breaker, budgeted episodes and
+	// retries all live in routeOne, shared with POST /route/batch.
+	es := episodePool.Get().(*episodeState)
+	defer episodePool.Put(es)
+	req.Protocol = protoName
+	out := s.routeOne(r, nw, graphName, req, time.Now().Add(s.cfg.RequestTimeout), es, true)
+	if out.errMsg != "" {
+		writeError(w, out.status, out.retryAfter, "%s", out.errMsg)
 		return
 	}
-
-	requestID := s.reqID.Add(1)
-	faultSeed := req.FaultSeed
-	if faultSeed == 0 {
-		faultSeed = hash64(requestID, uint64(req.S)<<32|uint64(uint32(req.T)))
-	}
-	start := time.Now()
-	deadline := start.Add(s.cfg.RequestTimeout)
-
-	// Deterministic trace sampling: the decision and the trace id are pure
-	// functions of (tracer seed, request sequence). The collector is reset
-	// per attempt so the published trace holds the final attempt's spans;
-	// earlier attempts survive as trace events.
-	var (
-		collector   *obs.SpanCollector
-		traceEvents []string
-	)
-	if s.tracer.Sampled(int(requestID)) {
-		collector = &obs.SpanCollector{}
-		for _, f := range req.Faults {
-			traceEvents = append(traceEvents, fmt.Sprintf("fault %s rate=%g", f.Model, f.Rate))
-		}
-	}
-
-	var (
-		res      route.Result
-		epErr    error
-		attempts int
-	)
-	for attempt := 1; ; attempt++ {
-		attempts = attempt
-		remaining := time.Until(deadline)
-		if remaining <= 0 {
-			res = route.Result{Path: []int{req.S}, Unique: 1, Stuck: -1, Failure: route.FailDeadline}
-			break
-		}
-		var plan *faults.Plan
-		if len(req.Faults) > 0 {
-			// Salt the plan seed per attempt: transient fault draws (and the
-			// crash sets of churn models) re-roll on retry, which is what
-			// makes crashed-target a retryable class at all.
-			plan, epErr = faults.NewPlan(hash64(faultSeed, uint64(attempt)), req.Faults...)
-			if epErr != nil {
-				break
-			}
-		}
-		epCfg := core.EpisodeConfig{
-			Protocol: core.Protocol(protoName),
-			S:        req.S, T: req.T,
-			MaxHops: s.cfg.MaxHops,
-			Timeout: remaining,
-			Faults:  plan,
-			Episode: attempt,
-		}
-		if collector != nil {
-			collector.Reset()
-			epCfg.Observer = collector
-		}
-		res, epErr = nw.RouteEpisode(epCfg)
-		if collector != nil {
-			switch {
-			case epErr != nil:
-				traceEvents = append(traceEvents, fmt.Sprintf("attempt %d: error", attempt))
-			case res.Success:
-				traceEvents = append(traceEvents, fmt.Sprintf("attempt %d: delivered", attempt))
-			default:
-				traceEvents = append(traceEvents, fmt.Sprintf("attempt %d: %s", attempt, res.Failure))
-			}
-		}
-		if epErr != nil || res.Success || !Transient(res.Failure) {
-			break
-		}
-		if attempt >= s.cfg.Retry.MaxAttempts {
-			break
-		}
-		// Back off before the next attempt, but never past the request
-		// deadline or the client's departure.
-		wait := s.cfg.Retry.Backoff(requestID, attempt)
-		if rem := time.Until(deadline); wait > rem {
-			wait = rem
-		}
-		s.retries.Add(1)
-		logger.Info("route retrying", "attempt", attempt, "failure", string(res.Failure),
-			"backoff_ms", wait.Milliseconds())
-		if wait > 0 {
-			t := time.NewTimer(wait)
-			select {
-			case <-t.C:
-			case <-r.Context().Done():
-				t.Stop()
-				logger.Info("route abandoned", "reason", "client gone during backoff", "err", r.Context().Err())
-				writeError(w, http.StatusServiceUnavailable, 0, "client gone during backoff: %v", r.Context().Err())
-				br.Record(true)
-				return
-			}
-		}
-	}
-
-	// The breaker watches service health, not query answers: engine errors
-	// and engine-inflicted failure classes count against it, while
-	// definitive protocol outcomes (delivered, dead-end, truncated) count
-	// as healthy service.
-	stateBefore := br.State()
-	br.Record(epErr != nil || Transient(res.Failure) || res.Failure == route.FailCancelled)
-	if after := br.State(); after == BreakerOpen && stateBefore != BreakerOpen {
-		logger.Warn("circuit breaker opened", "graph", graphName, "protocol", protoName,
-			"opens", br.Opens())
-	}
-
-	if collector != nil && epErr == nil {
-		s.tracer.Publish(obs.Trace{
-			ID:        s.tracer.ID(int(requestID)),
-			Episode:   int(requestID),
-			Request:   obs.RequestID(r.Context()),
-			Protocol:  protoName,
-			Graph:     graphName,
-			Failure:   string(res.Failure),
-			Events:    traceEvents,
-			Spans:     collector.Spans,
-			Truncated: collector.Truncated,
-		})
-	}
-
-	if epErr != nil {
-		logger.Error("route episode failed", "err", epErr, "attempts", attempts)
-		writeError(w, http.StatusInternalServerError, 0, "%v", epErr)
-		return
-	}
-	logger.Info("route episode", "graph", graphName, "protocol", protoName,
-		"s", req.S, "t", req.T, "success", res.Success, "failure", string(res.Failure),
-		"moves", res.Moves, "attempts", attempts,
-		"elapsed_ms", float64(time.Since(start).Microseconds())/1000)
-	resp := RouteResponse{
-		Graph:    graphName,
-		Protocol: protoName,
-		S:        req.S, T: req.T,
-		Success:   res.Success,
-		Failure:   string(res.Failure),
-		Moves:     res.Moves,
-		Unique:    res.Unique,
-		Attempts:  attempts,
-		ElapsedMs: float64(time.Since(start).Microseconds()) / 1000,
-	}
-	if req.IncludePath {
-		resp.Path = res.Path
-	}
-	writeJSON(w, StatusFor(res.Failure), resp)
+	writeJSON(w, out.status, out.resp)
 }
 
 // handleSwap serves POST /admin/swap: build a snapshot — generate a fresh
@@ -621,6 +486,7 @@ func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
 			NewObjective: func(t int) route.Objective {
 				return route.NewStandard(g, t)
 			},
+			StandardPhi: true,
 		}
 	} else {
 		if req.N < 2 {
