@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check vuln build test race vet cover bench bench-full bench-routing perf-smoke experiments examples clean
+.PHONY: all check vuln build test race vet cover bench bench-full bench-routing bench-cluster perf-smoke experiments examples clean
 
 all: check
 
@@ -52,6 +52,15 @@ BENCH_JSON ?= BENCH_pr6.json
 bench-routing:
 	$(GO) test -run='^$$' -bench='GreedyEpisode|ServeRouteBatch' -benchmem -benchtime=2s . \
 	  | tee /dev/stderr | $(GO) run ./cmd/benchjson -out $(BENCH_JSON) -key after
+
+# Cluster forwarding overhead: POST /route end to end against one daemon vs
+# a 3-shard loopback cluster, recorded into BENCH_pr7.json.
+BENCH_CLUSTER_JSON ?= BENCH_pr7.json
+bench-cluster:
+	$(GO) test -run='^$$' -bench='RouteSingleNode$$' -benchmem -benchtime=2s ./internal/serve/ \
+	  | tee /dev/stderr | $(GO) run ./cmd/benchjson -out $(BENCH_CLUSTER_JSON) -key single-node
+	$(GO) test -run='^$$' -bench='RouteCluster3Shard$$' -benchmem -benchtime=2s ./internal/serve/ \
+	  | tee /dev/stderr | $(GO) run ./cmd/benchjson -out $(BENCH_CLUSTER_JSON) -key cluster-3shard
 
 # In-process daemon + open-loop load generator with latency/success gates:
 # the CI perf smoke. Tune the gates there, not here.

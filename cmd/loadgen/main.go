@@ -26,10 +26,12 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/girg"
 	"repro/internal/obs"
@@ -52,29 +54,47 @@ func main() {
 // summary is the JSON report loadgen prints; field names are the contract
 // the CI smoke job greps, so treat them as API.
 type summary struct {
-	RPS       float64 `json:"rps"`
-	Duration  float64 `json:"duration_s"`
-	Batch     int     `json:"batch"`
-	Sent      int64   `json:"requests_sent"`
-	Queries   int64   `json:"queries_sent"`
-	Errors    int64   `json:"transport_errors"`
-	Shed      int64   `json:"shed"`
-	Success   int64   `json:"success"`
-	Failed    int64   `json:"failed"`
-	ShedRate  float64 `json:"shed_rate"`
-	SuccRate  float64 `json:"success_rate"`
-	P50Ms     float64 `json:"p50_ms"`
-	P95Ms     float64 `json:"p95_ms"`
-	P99Ms     float64 `json:"p99_ms"`
-	GateP99   float64 `json:"gate_max_p99_ms,omitempty"`
-	GateSucc  float64 `json:"gate_min_success,omitempty"`
-	GatesPass bool    `json:"gates_pass"`
+	RPS      float64 `json:"rps"`
+	Duration float64 `json:"duration_s"`
+	Batch    int     `json:"batch"`
+	Sent     int64   `json:"requests_sent"`
+	Queries  int64   `json:"queries_sent"`
+	Errors   int64   `json:"transport_errors"`
+	Shed     int64   `json:"shed"`
+	Success  int64   `json:"success"`
+	Failed   int64   `json:"failed"`
+	ShedRate float64 `json:"shed_rate"`
+	SuccRate float64 `json:"success_rate"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	// Cluster-aware accounting: a query is "local" when its answer needed
+	// no cross-shard forward and was not degraded to shard-unreachable —
+	// the population whose success rate must survive a shard crash.
+	Forwards     int64   `json:"forwards"`
+	Unreachable  int64   `json:"shard_unreachable"`
+	LocalQueries int64   `json:"local_queries"`
+	LocalSuccess int64   `json:"local_success"`
+	LocalRate    float64 `json:"local_success_rate"`
+	Overruns     int64   `json:"deadline_overruns"`
+	GateP99      float64 `json:"gate_max_p99_ms,omitempty"`
+	GateSucc     float64 `json:"gate_min_success,omitempty"`
+	GateLocal    float64 `json:"gate_min_local_success,omitempty"`
+	GateOverrun  float64 `json:"gate_overrun_ms,omitempty"`
+	GatesPass    bool    `json:"gates_pass"`
+}
+
+// counters aggregates per-query outcomes across the generator goroutines.
+type counters struct {
+	shed, success, failed      atomic.Int64
+	forwards, unreachable      atomic.Int64
+	localQueries, localSuccess atomic.Int64
 }
 
 func run(args []string, out *os.File) (int, error) {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", "", "host:port of a running smallworldd (mutually exclusive with -self)")
+		addr     = fs.String("addr", "", "comma-separated host:port list of running smallworldd daemons (mutually exclusive with -self); queries consistent-hash across them")
 		self     = fs.Bool("self", false, "serve an in-process daemon on a loopback port and drive it")
 		n        = fs.Float64("n", 10000, "GIRG size for -self")
 		seed     = fs.Uint64("seed", 1, "random seed (graph sampling and query pairs)")
@@ -88,6 +108,8 @@ func run(args []string, out *os.File) (int, error) {
 		proto    = fs.String("proto", "", "protocol name for every query (empty = daemon default)")
 		maxP99   = fs.Float64("max-p99-ms", 0, "gate: fail (exit 1) when p99 latency exceeds this many ms (0 = off)")
 		minSucc  = fs.Float64("min-success", 0, "gate: fail (exit 1) when the success rate is below this fraction (0 = off)")
+		minLocal = fs.Float64("min-local-success", 0, "gate: fail (exit 1) when the success rate over shard-local queries (no forwards, not shard-unreachable) is below this fraction (0 = off)")
+		overrun  = fs.Float64("overrun-ms", 0, "gate: count requests slower than this many ms as deadline overruns and fail (exit 1) when any occur (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1, err
@@ -138,7 +160,13 @@ func run(args []string, out *os.File) (int, error) {
 	if verts <= 1 {
 		return 1, fmt.Errorf("-nmax must be > 1 when driving a remote daemon")
 	}
-	url := "http://" + base
+	// Several -addr endpoints consistent-hash the queries: each (s, t) pair
+	// lands on a stable daemon, and a crashed endpoint only loses its own
+	// share when the survivor list is passed on the next run.
+	ring := cluster.NewRing(strings.Split(base, ","))
+	if ring == nil {
+		return 1, fmt.Errorf("no usable address in %q", base)
+	}
 
 	// Pre-build one request body per tick: the generation loop must not
 	// marshal JSON on the critical path or the schedule drifts under load.
@@ -149,28 +177,33 @@ func run(args []string, out *os.File) (int, error) {
 	}
 	rng := xrand.New(*seed + 1)
 	bodies := make([][]byte, ticks)
+	endpoints := make([]string, ticks)
+	path := "/route"
+	if *batch > 1 {
+		path = "/route/batch"
+	}
 	for i := range bodies {
 		var body []byte
 		var err error
+		var s0, t0 int
 		if *batch == 1 {
-			body, err = json.Marshal(serve.RouteRequest{
-				Protocol: *proto, S: rng.IntN(verts), T: rng.IntN(verts),
-			})
+			s0, t0 = rng.IntN(verts), rng.IntN(verts)
+			body, err = json.Marshal(serve.RouteRequest{Protocol: *proto, S: s0, T: t0})
 		} else {
 			items := make([]serve.BatchItem, *batch)
 			for j := range items {
 				items[j] = serve.BatchItem{Protocol: *proto, S: rng.IntN(verts), T: rng.IntN(verts)}
 			}
+			s0, t0 = items[0].S, items[0].T
 			body, err = json.Marshal(serve.BatchRouteRequest{Items: items})
 		}
 		if err != nil {
 			return 1, err
 		}
 		bodies[i] = body
-	}
-	endpoint := url + "/route"
-	if *batch > 1 {
-		endpoint = url + "/route/batch"
+		// The first pair keys the endpoint choice, so a request is pinned to
+		// its daemon across runs regardless of the survivor set's order.
+		endpoints[i] = "http://" + ring.Pick(obs.Hash64(uint64(s0), uint64(t0))) + path
 	}
 
 	// The open loop: request i fires at start + i·interval, on its own
@@ -178,13 +211,12 @@ func run(args []string, out *os.File) (int, error) {
 	// loop (wait for the answer, then send) would throttle itself exactly
 	// when the daemon slows down and hide the tail this tool exists to see.
 	var (
-		hist    obs.LatencyHist
-		sent    atomic.Int64
-		errs    atomic.Int64
-		shed    atomic.Int64
-		success atomic.Int64
-		failed  atomic.Int64
-		wg      sync.WaitGroup
+		hist     obs.LatencyHist
+		sent     atomic.Int64
+		errs     atomic.Int64
+		overruns atomic.Int64
+		cnt      counters
+		wg       sync.WaitGroup
 	)
 	client := &http.Client{Timeout: *timeout + 5*time.Second}
 	start := time.Now()
@@ -193,18 +225,22 @@ func run(args []string, out *os.File) (int, error) {
 			time.Sleep(d)
 		}
 		wg.Add(1)
-		go func(body []byte) {
+		go func(endpoint string, body []byte) {
 			defer wg.Done()
 			sent.Add(1)
 			t0 := time.Now()
 			resp, err := client.Post(endpoint, "application/json", bytes.NewReader(body))
+			took := time.Since(t0)
+			if *overrun > 0 && ms(took) > *overrun {
+				overruns.Add(1)
+			}
 			if err != nil {
 				errs.Add(1)
 				return
 			}
-			hist.Record(time.Since(t0))
-			classify(resp, *batch, &shed, &success, &failed)
-		}(bodies[i])
+			hist.Record(took)
+			classify(resp, *batch, &cnt)
+		}(endpoints[i], bodies[i])
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -213,22 +249,29 @@ func run(args []string, out *os.File) (int, error) {
 	// Success rate is over queries the daemon accepted: shedding is backpressure
 	// working as designed and scored separately; transport errors count against
 	// success (the service failed to answer at all).
-	answered := queries - shed.Load()
+	answered := queries - cnt.shed.Load()
 	s := summary{
-		RPS:      *rps,
-		Duration: elapsed.Seconds(),
-		Batch:    *batch,
-		Sent:     sent.Load(),
-		Queries:  queries,
-		Errors:   errs.Load(),
-		Shed:     shed.Load(),
-		Success:  success.Load(),
-		Failed:   failed.Load() + errs.Load()*int64(*batch),
-		P50Ms:    ms(hist.Quantile(0.50)),
-		P95Ms:    ms(hist.Quantile(0.95)),
-		P99Ms:    ms(hist.Quantile(0.99)),
-		GateP99:  *maxP99,
-		GateSucc: *minSucc,
+		RPS:          *rps,
+		Duration:     elapsed.Seconds(),
+		Batch:        *batch,
+		Sent:         sent.Load(),
+		Queries:      queries,
+		Errors:       errs.Load(),
+		Shed:         cnt.shed.Load(),
+		Success:      cnt.success.Load(),
+		Failed:       cnt.failed.Load() + errs.Load()*int64(*batch),
+		Forwards:     cnt.forwards.Load(),
+		Unreachable:  cnt.unreachable.Load(),
+		LocalQueries: cnt.localQueries.Load(),
+		LocalSuccess: cnt.localSuccess.Load(),
+		Overruns:     overruns.Load(),
+		P50Ms:        ms(hist.Quantile(0.50)),
+		P95Ms:        ms(hist.Quantile(0.95)),
+		P99Ms:        ms(hist.Quantile(0.99)),
+		GateP99:      *maxP99,
+		GateSucc:     *minSucc,
+		GateLocal:    *minLocal,
+		GateOverrun:  *overrun,
 	}
 	if queries > 0 {
 		s.ShedRate = float64(s.Shed) / float64(queries)
@@ -236,7 +279,13 @@ func run(args []string, out *os.File) (int, error) {
 	if answered > 0 {
 		s.SuccRate = float64(s.Success) / float64(answered)
 	}
-	s.GatesPass = (*maxP99 <= 0 || s.P99Ms <= *maxP99) && (*minSucc <= 0 || s.SuccRate >= *minSucc)
+	if s.LocalQueries > 0 {
+		s.LocalRate = float64(s.LocalSuccess) / float64(s.LocalQueries)
+	}
+	s.GatesPass = (*maxP99 <= 0 || s.P99Ms <= *maxP99) &&
+		(*minSucc <= 0 || s.SuccRate >= *minSucc) &&
+		(*minLocal <= 0 || s.LocalRate >= *minLocal) &&
+		(*overrun <= 0 || s.Overruns == 0)
 
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
@@ -244,42 +293,68 @@ func run(args []string, out *os.File) (int, error) {
 		return 1, err
 	}
 	if !s.GatesPass {
-		return 1, fmt.Errorf("gates failed: p99 %.1fms (max %.1f), success %.4f (min %.4f)",
-			s.P99Ms, *maxP99, s.SuccRate, *minSucc)
+		return 1, fmt.Errorf("gates failed: p99 %.1fms (max %.1f), success %.4f (min %.4f), local %.4f (min %.4f), overruns %d (limit %.1fms)",
+			s.P99Ms, *maxP99, s.SuccRate, *minSucc, s.LocalRate, *minLocal, s.Overruns, *overrun)
 	}
 	return 0, nil
 }
 
-// classify folds one HTTP response into the query counters. For a batch,
-// per-item statuses are scored individually; an envelope-level rejection
-// scores every query of the batch at once.
-func classify(resp *http.Response, batch int, shed, success, failed *atomic.Int64) {
+// classify folds one HTTP response into the query counters. Route bodies
+// are decoded on every status — classified failures (504 deadline, 502
+// shard-unreachable) carry a full RouteResponse — so the cluster fields
+// (forwards, shard-unreachable, shard-local success) stay honest. For a
+// batch, per-item statuses are scored individually; an envelope-level
+// rejection scores every query of the batch at once.
+func classify(resp *http.Response, batch int, c *counters) {
 	defer resp.Body.Close()
-	if batch > 1 && resp.StatusCode == http.StatusOK {
+	if batch > 1 {
 		var br serve.BatchRouteResponse
-		if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
-			failed.Add(int64(batch))
+		if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&br) != nil {
+			// Envelope rejection (shed, draining, malformed): every query of
+			// the batch scores on the status alone.
+			for i := 0; i < batch; i++ {
+				scoreQuery(resp.StatusCode, false, 0, "", c)
+			}
 			return
 		}
 		for _, it := range br.Items {
-			scoreStatus(it.Status, 1, shed, success, failed)
+			scoreQuery(it.Status, it.Attempts > 0, it.Forwards, it.Failure, c)
 		}
 		return
 	}
-	scoreStatus(resp.StatusCode, int64(batch), shed, success, failed)
+	var rr serve.RouteResponse
+	routed := json.NewDecoder(resp.Body).Decode(&rr) == nil && rr.Attempts > 0
+	scoreQuery(resp.StatusCode, routed, rr.Forwards, rr.Failure, c)
 }
 
-// scoreStatus maps one status onto the counters: 200 is a definitive answer
+// scoreQuery maps one query onto the counters: 200 is a definitive answer
 // (delivered or a proven dead end — the service did its job), 429/503 is
-// load shedding, anything else is a failure.
-func scoreStatus(status int, weight int64, shed, success, failed *atomic.Int64) {
+// load shedding, anything else is a failure. routed says the body was a
+// real route answer, which is what makes the cluster accounting (forwards /
+// shard-unreachable / local) trustworthy.
+func scoreQuery(status int, routed bool, forwards int, failure string, c *counters) {
 	switch status {
 	case http.StatusOK:
-		success.Add(weight)
+		c.success.Add(1)
 	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
-		shed.Add(weight)
+		c.shed.Add(1)
+		return
 	default:
-		failed.Add(weight)
+		c.failed.Add(1)
+	}
+	if !routed {
+		return
+	}
+	c.forwards.Add(int64(forwards))
+	if failure == string(route.FailShardUnreachable) {
+		c.unreachable.Add(1)
+		return
+	}
+	if forwards == 0 {
+		c.localQueries.Add(1)
+		if status == http.StatusOK {
+			c.localSuccess.Add(1)
+		}
 	}
 }
 

@@ -28,11 +28,13 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/girg"
 	"repro/internal/graph"
 	"repro/internal/graphio"
+	"repro/internal/obs"
 	"repro/internal/route"
 	"repro/internal/serve"
 	"repro/internal/xrand"
@@ -87,7 +89,7 @@ func runCtx(ctx context.Context, args []string) (int, error) {
 		proto  = fs.String("proto", "greedy", "protocol: "+strings.Join(route.RegisteredSorted(), " | "))
 		pairs  = fs.Int("pairs", 1, "number of random pairs to route (when s/t unset)")
 		trace  = fs.Bool("trace", false, "print the per-hop weight/objective trajectory")
-		server = fs.String("server", "", "host:port of a running smallworldd; query it instead of routing locally")
+		server = fs.String("server", "", "comma-separated host:port list of running smallworldd daemons; query one (consistent-hashed on s,t) instead of routing locally")
 		// Usage text derives from the fault-model registry, exactly as -proto
 		// derives from the protocol registry.
 		faultModel   = fs.String("fault-model", "", "fault model to inject (default none): "+strings.Join(faults.RegisteredSorted(), " | "))
@@ -260,10 +262,18 @@ func maxCode(a, b int) int {
 
 // runRemote sends one routing query to a running smallworldd and prints its
 // answer, reusing the daemon's wire types so both sides stay in lockstep.
+// addr may list several daemons (comma-separated); the query goes to the
+// endpoint that consistent-hashing assigns the (s, t) pair, so repeated
+// invocations against the same cluster hit the same entry daemon.
 func runRemote(ctx context.Context, addr, proto string, s, t int, faultModel string, faultRate float64, faultRetries int, seed uint64) (int, error) {
 	if s < 0 || t < 0 {
 		return 1, fmt.Errorf("-server mode needs explicit -s and -t")
 	}
+	ring := cluster.NewRing(strings.Split(addr, ","))
+	if ring == nil {
+		return 1, fmt.Errorf("-server needs at least one address")
+	}
+	addr = ring.Pick(obs.Hash64(uint64(s), uint64(t)))
 	req := serve.RouteRequest{Protocol: proto, S: s, T: t, FaultSeed: seed, IncludePath: true}
 	if proto == "greedy" {
 		req.Protocol = "" // let the daemon apply its default
@@ -299,8 +309,12 @@ func runRemote(ctx context.Context, addr, proto string, s, t int, faultModel str
 	if !rr.Success {
 		status = fmt.Sprintf("FAILED(%s)", rr.Failure)
 	}
-	fmt.Printf("%s %d -> %d: %s moves=%d unique=%d attempts=%d elapsed=%.1fms\n",
-		rr.Protocol, rr.S, rr.T, status, rr.Moves, rr.Unique, rr.Attempts, rr.ElapsedMs)
+	hops := ""
+	if rr.Forwards > 0 {
+		hops = fmt.Sprintf(" forwards=%d", rr.Forwards)
+	}
+	fmt.Printf("%s %d -> %d: %s moves=%d unique=%d attempts=%d elapsed=%.1fms%s\n",
+		rr.Protocol, rr.S, rr.T, status, rr.Moves, rr.Unique, rr.Attempts, rr.ElapsedMs, hops)
 	if len(rr.Path) > 0 {
 		fmt.Printf("  path: %v\n", rr.Path)
 	}

@@ -20,6 +20,18 @@
 //	curl -s localhost:8080/debug/trace                             # sampled trajectories, JSONL
 //	curl -s localhost:8080/admin/swap -d '{"n": 50000, "seed": 7}'
 //	curl -s localhost:8080/admin/swap -d '{"path": "snap.girgb"}'   # checksum-verified; corrupt files get 422
+//
+// Cluster mode (-shard) turns the daemon into one Morton shard of a
+// cluster: it owns the vertices whose deep Morton code starts with the
+// given binary prefix, answers shard-local greedy walks itself, and
+// forwards continuations to the owning peers over POST /cluster/hop.
+// Membership converges by gossip (-peers seeds it); a dead shard degrades
+// its own vertices to fast classified shard-unreachable failures while
+// every other route keeps working:
+//
+//	smallworldd -addr :8081 -in snap.girgb -shard 0  -peers 127.0.0.1:8082,127.0.0.1:8083 &
+//	smallworldd -addr :8082 -in snap.girgb -shard 10 -peers 127.0.0.1:8081,127.0.0.1:8083 &
+//	smallworldd -addr :8083 -in snap.girgb -shard 11 -peers 127.0.0.1:8081,127.0.0.1:8082 &
 package main
 
 import (
@@ -31,10 +43,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/atomicio"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/girg"
 	"repro/internal/graph"
@@ -42,6 +56,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/route"
 	"repro/internal/serve"
+	"repro/internal/torus"
 )
 
 func main() {
@@ -70,6 +85,12 @@ func run(args []string, ready chan<- string) error {
 		sample  = fs.Float64("trace-sample", 0, "deterministic trace sampling rate in [0, 1]: sampled requests record per-hop trajectories served on /debug/trace (0 = tracing off)")
 		traceN  = fs.Int("trace-capacity", 0, "completed traces kept for /debug/trace (0 = 64)")
 		traceO  = fs.String("trace-out", "", "write the held traces as JSONL to this file on shutdown")
+
+		shard     = fs.String("shard", "", "cluster mode: binary Morton prefix this daemon owns (e.g. 0, 10, 11; empty = single-node)")
+		peers     = fs.String("peers", "", "cluster mode: comma-separated peer addresses (host:port) to seed membership")
+		join      = fs.String("join", "", "cluster mode: alias for -peers (addresses to gossip with)")
+		advertise = fs.String("advertise", "", "cluster mode: address peers reach this daemon at (default: the bound listen address)")
+		gossipInt = fs.Duration("gossip-interval", time.Second, "cluster mode: gossip round interval")
 	)
 	logCfg := obs.RegisterLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -136,15 +157,47 @@ func run(args []string, ready chan<- string) error {
 	logger.Info("serving", "label", nw.Label, "n", g.N(), "m", g.M(),
 		"fingerprint", fmt.Sprintf("%016x", g.Fingerprint()), "addr", ln.Addr().String(),
 		"workers", *workers, "queue", *queue, "trace_sample", *sample)
-	if ready != nil {
-		ready <- ln.Addr().String()
-	}
 
 	// SIGTERM/SIGINT triggers graceful drain: readiness goes 503, new
 	// routes are rejected, in-flight episodes finish and write their
 	// responses, then the listener closes.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Cluster mode: the shard map needs the bound address (advertise
+	// defaults to it, and port 0 resolves only after Listen), so it is wired
+	// between Listen and Serve — before the first request can arrive.
+	if *shard != "" {
+		prefix, err := torus.ParsePrefix(*shard)
+		if err != nil {
+			return err
+		}
+		self := *advertise
+		if self == "" {
+			self = ln.Addr().String()
+		}
+		node, err := cluster.NewNode(g, prefix, self, cluster.Config{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		seeds := strings.Split(*peers+","+*join, ",")
+		for _, p := range seeds {
+			if p = strings.TrimSpace(p); p != "" {
+				node.Members().Add(cluster.Peer{ID: p, Fingerprint: node.Self().Fingerprint})
+			}
+		}
+		srv.EnableCluster(node, &http.Client{})
+		transport := cluster.NewHTTPTransport(*gossipInt)
+		go node.RunGossip(ctx, *gossipInt, transport, logger)
+		logger.Info("cluster mode", "shard", prefix.String(), "self", self,
+			"owned_vertices", node.OwnedCount(), "seed_peers", len(node.Members().Snapshot()),
+			"gossip_interval", *gossipInt)
+	} else if *peers != "" || *join != "" || *advertise != "" {
+		return fmt.Errorf("-peers/-join/-advertise require -shard")
+	}
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()

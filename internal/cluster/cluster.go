@@ -1,0 +1,59 @@
+// Package cluster turns the single-process routing daemon into a
+// Morton-sharded cluster: each daemon owns the vertices whose deep Morton
+// (Z-order) code starts with its shard prefix, routes greedily while the
+// walk stays local, and forwards the continuation to the owning peer when
+// it crosses a shard boundary. Because greedy routing under the GIRG
+// objective is geometrically local — the paper's whole point — most hops
+// stay shard-local and a forward is rare.
+//
+// Three pieces:
+//
+//   - Membership: a Brahms-style gossip view. Every daemon keeps a bounded
+//     partial view of its peers, pushes it to a deterministic pure-hash
+//     sample of them each tick and pulls their view back (push/pull), so
+//     the cluster converges without any coordinator. A suspicion-based
+//     failure detector (injectable clock) demotes silent peers to suspect
+//     and then down; forward failures reported by the serving layer strike
+//     peers down faster than silence alone would. Down peers are only
+//     revived by direct contact — a stale third-party view cannot resurrect
+//     a dead shard.
+//
+//   - Node: the shard map — the deep Morton code of every vertex, the
+//     ownership mask of the local prefix, and OwnerOf, which resolves the
+//     peer responsible for a vertex among the currently routable members
+//     (alive or merely suspect, serving the same snapshot fingerprint).
+//
+//   - Ring: a consistent-hash multi-endpoint picker for clients
+//     (cmd/route -server a,b,c and cmd/loadgen), so query load spreads
+//     deterministically across entry daemons.
+//
+// The package is transport-agnostic: the serving layer (internal/serve)
+// supplies the HTTP transport and the hop-forwarding path with its per-peer
+// circuit breakers; tests drive Membership with a fake clock and an
+// in-memory transport, bit-identical at any GOMAXPROCS.
+package cluster
+
+// Peer identifies one shard daemon of the cluster. ID doubles as the
+// transport address (host:port the daemon advertises); Shard is its Morton
+// prefix in binary-digit form; Fingerprint is the %016x digest of the graph
+// snapshot it serves, so peers can detect shard/graph mismatch before
+// forwarding a hop into the wrong snapshot.
+type Peer struct {
+	ID          string `json:"id"`
+	Shard       string `json:"shard"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// GossipRequest is one push half of a gossip exchange: the sender
+// introduces itself and shares its bounded view.
+type GossipRequest struct {
+	From Peer   `json:"from"`
+	View []Peer `json:"view"`
+}
+
+// GossipResponse is the pull half: the receiver answers with itself and its
+// own bounded view.
+type GossipResponse struct {
+	Self Peer   `json:"self"`
+	View []Peer `json:"view"`
+}

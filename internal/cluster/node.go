@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/torus"
+)
+
+// Node is one daemon's shard map: the graph it serves, the deep Morton code
+// of every vertex, the ownership mask of the local prefix, and the
+// membership view that resolves which peer owns a foreign vertex.
+type Node struct {
+	self    Peer
+	prefix  torus.Prefix
+	g       *graph.Graph
+	codes   []uint64
+	bits    int
+	owned   []bool
+	ownedN  int
+	members *Membership
+}
+
+// NewNode builds the shard map of prefix over g and wraps the membership
+// view around it. cfg.Self is overwritten with the node's own identity
+// (id, shard spelling, snapshot fingerprint).
+func NewNode(g *graph.Graph, prefix torus.Prefix, id string, cfg Config) (*Node, error) {
+	codes, bits, err := graph.MortonCodes(g)
+	if err != nil {
+		return nil, err
+	}
+	owned, err := graph.OwnedMask(codes, bits, prefix)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		self: Peer{
+			ID:          id,
+			Shard:       prefix.String(),
+			Fingerprint: fmt.Sprintf("%016x", g.Fingerprint()),
+		},
+		prefix: prefix,
+		g:      g,
+		codes:  codes,
+		bits:   bits,
+		owned:  owned,
+	}
+	for _, o := range owned {
+		if o {
+			n.ownedN++
+		}
+	}
+	if n.ownedN == 0 {
+		return nil, fmt.Errorf("cluster: shard %q owns no vertices of this snapshot", prefix.String())
+	}
+	cfg.Self = n.self
+	n.members = NewMembership(cfg)
+	return n, nil
+}
+
+// Self returns the local peer identity.
+func (n *Node) Self() Peer { return n.self }
+
+// Shard returns the local Morton prefix.
+func (n *Node) Shard() torus.Prefix { return n.prefix }
+
+// Graph returns the snapshot the shard map was built over. The serving
+// layer compares it by pointer against the graph a request resolved: after
+// a hot swap the mask no longer applies and routing falls back to
+// single-node mode.
+func (n *Node) Graph() *graph.Graph { return n.g }
+
+// Members returns the membership view.
+func (n *Node) Members() *Membership { return n.members }
+
+// Owned reports whether vertex v belongs to the local shard.
+func (n *Node) Owned(v int) bool { return n.owned[v] }
+
+// OwnedMask exposes the ownership mask for the partial router; callers must
+// not modify it.
+func (n *Node) OwnedMask() []bool { return n.owned }
+
+// OwnedCount returns the number of vertices the local shard owns.
+func (n *Node) OwnedCount() int { return n.ownedN }
+
+// OwnerOf resolves the peer responsible for vertex v among the routable
+// members: its shard prefix must match v's Morton code and it must serve
+// the same snapshot (fingerprint equality), so a hop is never forwarded
+// into a mismatched graph. Alive peers win over suspect ones (Routable
+// orders them); ok is false when no routable peer covers the vertex — the
+// shard-unreachable case.
+func (n *Node) OwnerOf(v int) (Peer, bool) {
+	code := n.codes[v]
+	for _, p := range n.members.Routable() {
+		if p.Fingerprint != n.self.Fingerprint {
+			continue
+		}
+		pp, err := torus.ParsePrefix(p.Shard)
+		if err != nil || pp.Valid(n.bits) != nil {
+			continue
+		}
+		if pp.Matches(code, n.bits) {
+			return p, true
+		}
+	}
+	return Peer{}, false
+}
+
+// Transport carries one gossip exchange to a peer and returns its answer.
+type Transport interface {
+	Exchange(ctx context.Context, peer Peer, req GossipRequest) (GossipResponse, error)
+}
+
+// RunGossip drives the push/pull loop until ctx is done: every interval it
+// ticks the membership round, pushes the bounded view to that round's
+// deterministic peer sample, and merges each answer. Exchange failures
+// strike the peer; the failure detector does the rest.
+func (n *Node) RunGossip(ctx context.Context, interval time.Duration, t Transport, logger *slog.Logger) {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		targets := n.members.Tick()
+		view := n.members.View()
+		for _, target := range targets {
+			resp, err := t.Exchange(ctx, target, GossipRequest{From: n.self, View: view})
+			if err != nil {
+				n.members.ReportFailure(target.ID)
+				logger.Debug("gossip exchange failed", "peer", target.ID, "err", err)
+				continue
+			}
+			n.members.Receive(resp.Self, resp.View)
+		}
+	}
+}

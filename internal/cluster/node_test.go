@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/torus"
+)
+
+// testGraph builds a small geometric graph with deterministic pseudo-random
+// positions (splitmix64 stream).
+func testGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	space := torus.MustSpace(2)
+	pos := torus.NewPositions(space, n)
+	x := uint64(123)
+	next := func() float64 {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		return float64(z>>11) * 0x1p-53
+	}
+	buf := make([]float64, 2)
+	for i := 0; i < n; i++ {
+		buf[0], buf[1] = next(), next()
+		pos.Set(i, buf)
+	}
+	b, err := graph.NewBuilder(n, pos, nil, float64(n), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		b.AddEdge(i-1, i)
+	}
+	return b.Finish()
+}
+
+func mustPrefix(t *testing.T, s string) torus.Prefix {
+	t.Helper()
+	p, err := torus.ParsePrefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestNodePartition builds the 3-shard node set over one graph and checks
+// the ownership masks partition the vertex set and OwnerOf resolves every
+// foreign vertex to the peer whose mask owns it.
+func TestNodePartition(t *testing.T) {
+	g := testGraph(t, 300)
+	clk := newFakeClock()
+	specs := []string{"0", "10", "11"}
+	nodes := make([]*Node, len(specs))
+	for i, spec := range specs {
+		n, err := NewNode(g, mustPrefix(t, spec), fmt.Sprintf("n%d:1", i), Config{Now: clk.now})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+	}
+	// Full static mesh.
+	for _, n := range nodes {
+		for _, p := range nodes {
+			if p != n {
+				n.Members().Add(p.Self())
+			}
+		}
+	}
+
+	total := 0
+	for _, n := range nodes {
+		total += n.OwnedCount()
+	}
+	if total != g.N() {
+		t.Fatalf("shards own %d vertices total, want %d", total, g.N())
+	}
+
+	for v := 0; v < g.N(); v++ {
+		owners := 0
+		for _, n := range nodes {
+			if n.Owned(v) {
+				owners++
+				continue
+			}
+			peer, ok := n.OwnerOf(v)
+			if !ok {
+				t.Fatalf("node %s: no owner for foreign vertex %d", n.Self().ID, v)
+			}
+			// The resolved peer's node must actually own v.
+			for _, o := range nodes {
+				if o.Self().ID == peer.ID && !o.Owned(v) {
+					t.Fatalf("node %s resolved vertex %d to %s, which does not own it",
+						n.Self().ID, v, peer.ID)
+				}
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("vertex %d owned by %d shards, want 1", v, owners)
+		}
+	}
+}
+
+// TestOwnerOfExcludesMismatchedFingerprint checks a peer serving a different
+// snapshot is never resolved as an owner.
+func TestOwnerOfExcludesMismatchedFingerprint(t *testing.T) {
+	g := testGraph(t, 100)
+	clk := newFakeClock()
+	n, err := NewNode(g, mustPrefix(t, "0"), "a:1", Config{Now: clk.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Members().Add(Peer{ID: "b:1", Shard: "1", Fingerprint: "deadbeef00000000"})
+	for v := 0; v < g.N(); v++ {
+		if n.Owned(v) {
+			continue
+		}
+		if peer, ok := n.OwnerOf(v); ok {
+			t.Fatalf("vertex %d resolved to mismatched-snapshot peer %s", v, peer.ID)
+		}
+	}
+}
+
+// TestOwnerOfExcludesDown checks a down peer is never resolved, the
+// shard-unreachable precondition.
+func TestOwnerOfExcludesDown(t *testing.T) {
+	g := testGraph(t, 100)
+	clk := newFakeClock()
+	n, err := NewNode(g, mustPrefix(t, "0"), "a:1", Config{Now: clk.now, DownAfter: 10e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	self := n.Self()
+	n.Members().Add(Peer{ID: "b:1", Shard: "1", Fingerprint: self.Fingerprint})
+
+	foreign := -1
+	for v := 0; v < g.N(); v++ {
+		if !n.Owned(v) {
+			foreign = v
+			break
+		}
+	}
+	if foreign < 0 {
+		t.Skip("prefix 0 owns everything in this draw")
+	}
+	if _, ok := n.OwnerOf(foreign); !ok {
+		t.Fatal("live peer not resolved")
+	}
+	clk.advance(11e9)
+	if peer, ok := n.OwnerOf(foreign); ok {
+		t.Fatalf("down peer %s still resolved", peer.ID)
+	}
+}
+
+// TestNewNodeRejectsEmptyShard checks a prefix owning zero vertices errors.
+func TestNewNodeRejectsEmptyShard(t *testing.T) {
+	g := testGraph(t, 20)
+	clk := newFakeClock()
+	// A 30-bit-deep all-ones prefix will own nothing with n=20 points w.h.p.
+	spec := ""
+	for i := 0; i < 30; i++ {
+		spec += "1"
+	}
+	if _, err := NewNode(g, mustPrefix(t, spec), "a:1", Config{Now: clk.now}); err == nil {
+		t.Fatal("empty shard accepted")
+	}
+}

@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// HTTPTransport exchanges gossip over the peers' serving endpoints
+// (POST http://<peer.ID>/cluster/gossip). The zero value is not usable;
+// call NewHTTPTransport.
+type HTTPTransport struct {
+	client *http.Client
+}
+
+// NewHTTPTransport builds a transport whose exchanges time out after
+// timeout (also the dial/header budget via the request context).
+func NewHTTPTransport(timeout time.Duration) *HTTPTransport {
+	return &HTTPTransport{client: &http.Client{Timeout: timeout}}
+}
+
+// Exchange implements Transport: one push/pull round trip with peer.
+func (t *HTTPTransport) Exchange(ctx context.Context, peer Peer, req GossipRequest) (GossipResponse, error) {
+	var resp GossipResponse
+	body, err := json.Marshal(req)
+	if err != nil {
+		return resp, err
+	}
+	url := "http://" + peer.ID + "/cluster/gossip"
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return resp, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := t.client.Do(hreq)
+	if err != nil {
+		return resp, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(hresp.Body, 1<<16))
+		hresp.Body.Close()
+	}()
+	if hresp.StatusCode != http.StatusOK {
+		return resp, fmt.Errorf("gossip %s: status %d", peer.ID, hresp.StatusCode)
+	}
+	if err := json.NewDecoder(io.LimitReader(hresp.Body, 1<<20)).Decode(&resp); err != nil {
+		return resp, fmt.Errorf("gossip %s: %w", peer.ID, err)
+	}
+	return resp, nil
+}

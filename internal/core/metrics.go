@@ -54,7 +54,7 @@ type engineVars struct {
 	panics      atomic.Int64
 	batches     atomic.Int64
 	durations   [durBuckets]atomic.Int64
-	durTotalUs  atomic.Int64 // summed episode wall time, microseconds
+	durTotalUs  atomic.Int64   // summed episode wall time, microseconds
 	taxonomy    []atomic.Int64 // indexed like failureOrder
 }
 
@@ -97,6 +97,15 @@ func recordEpisode(res route.Result, d time.Duration) {
 	}
 	engine.durations[durBucket(d)].Add(1)
 	engine.durTotalUs.Add(int64(d / time.Microsecond))
+}
+
+// RecordEpisode folds an externally routed episode into the process-wide
+// engine counters — the entry point for serving layers that route outside
+// RouteEpisodeInto (the cluster hop path stitches per-shard segments itself)
+// but still owe the expvar/Prometheus taxonomy an episode. res must be a
+// terminal, classified result.
+func RecordEpisode(res route.Result, d time.Duration) {
+	recordEpisode(res, d)
 }
 
 // recordCancelled counts episodes a cancelled batch never ran. They appear

@@ -12,7 +12,16 @@ import (
 // snapshot: the serving layer logs it when installing snapshots and the
 // durability tests use it to assert that round-trips and resumed runs
 // reproduce graphs bit-for-bit.
+//
+// The digest is O(n+m) but the graph is immutable, so it is computed once
+// and memoized — readiness probes and cluster membership exchanges read it
+// per request.
 func (g *Graph) Fingerprint() uint64 {
+	g.fpOnce.Do(func() { g.fp = g.fingerprint() })
+	return g.fp
+}
+
+func (g *Graph) fingerprint() uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
 	put := func(v uint64) {

@@ -8,6 +8,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/torus"
 )
@@ -26,6 +27,11 @@ type Graph struct {
 	// functions normalize by it. For fixed-size models it equals N().
 	intensity float64
 	wmin      float64
+
+	// fpOnce/fp memoize Fingerprint: the graph is immutable after
+	// construction, and readiness probes read the digest per request.
+	fpOnce sync.Once
+	fp     uint64
 }
 
 // Builder accumulates edges before freezing them into a Graph. Edges may be

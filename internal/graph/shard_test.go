@@ -1,0 +1,120 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/torus"
+)
+
+// shardTestGraph builds a small geometric graph with deterministic
+// pseudo-random positions.
+func shardTestGraph(t *testing.T, n int) *Graph {
+	t.Helper()
+	space := torus.MustSpace(2)
+	pos := torus.NewPositions(space, n)
+	x := uint64(99)
+	next := func() float64 {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		return float64(z>>11) * 0x1p-53
+	}
+	buf := make([]float64, 2)
+	for i := 0; i < n; i++ {
+		buf[0], buf[1] = next(), next()
+		pos.Set(i, buf)
+	}
+	b, err := NewBuilder(n, pos, nil, float64(n), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		b.AddEdge(i-1, i)
+	}
+	return b.Finish()
+}
+
+// TestOwnedMaskPartition checks that the 3-shard prefix set partitions the
+// vertices: every vertex owned by exactly one shard.
+func TestOwnedMaskPartition(t *testing.T) {
+	g := shardTestGraph(t, 400)
+	codes, bits, err := MortonCodes(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(codes) != g.N() {
+		t.Fatalf("got %d codes for %d vertices", len(codes), g.N())
+	}
+	masks := make([][]bool, 0, 3)
+	for _, spec := range []string{"0", "10", "11"} {
+		p, err := torus.ParsePrefix(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := OwnedMask(codes, bits, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		masks = append(masks, m)
+	}
+	for v := 0; v < g.N(); v++ {
+		owners := 0
+		for _, m := range masks {
+			if m[v] {
+				owners++
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("vertex %d owned by %d shards, want 1", v, owners)
+		}
+	}
+}
+
+// TestOwnedMaskValidation checks the over-long-prefix and no-geometry error
+// paths.
+func TestOwnedMaskValidation(t *testing.T) {
+	g := shardTestGraph(t, 10)
+	codes, bits, err := MortonCodes(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := torus.ParsePrefix(longPrefix(bits + 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OwnedMask(codes, bits, long); err == nil {
+		t.Error("over-long prefix accepted")
+	}
+
+	b, err := NewBuilder(4, nil, nil, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.AddEdge(0, 1)
+	if _, _, err := MortonCodes(b.Finish()); err == nil {
+		t.Error("MortonCodes accepted a graph without geometry")
+	}
+}
+
+func longPrefix(bits int) string {
+	b := make([]byte, bits)
+	for i := range b {
+		b[i] = '0'
+	}
+	return string(b)
+}
+
+// TestFingerprintMemoized checks the memoized digest matches a fresh
+// computation and stays stable across calls.
+func TestFingerprintMemoized(t *testing.T) {
+	g := shardTestGraph(t, 50)
+	first := g.Fingerprint()
+	if second := g.Fingerprint(); second != first {
+		t.Fatalf("fingerprint changed between calls: %x then %x", first, second)
+	}
+	if direct := g.fingerprint(); direct != first {
+		t.Fatalf("memoized fingerprint %x != direct digest %x", first, direct)
+	}
+}

@@ -97,6 +97,7 @@ smallworld_engine_episode_failures_total{class="truncated"} 2
 smallworld_engine_episode_failures_total{class="deadline"} 0
 smallworld_engine_episode_failures_total{class="crashed-target"} 0
 smallworld_engine_episode_failures_total{class="cancelled"} 0
+smallworld_engine_episode_failures_total{class="shard-unreachable"} 0
 # HELP smallworld_engine_episode_duration_seconds Per-episode wall time.
 # TYPE smallworld_engine_episode_duration_seconds histogram
 smallworld_engine_episode_duration_seconds_bucket{le="1e-06"} 4

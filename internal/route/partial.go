@@ -1,0 +1,106 @@
+package route
+
+import (
+	"time"
+
+	"repro/internal/graph"
+)
+
+// GreedyCSRPartial is GreedyCSR restricted to one shard of a Morton-prefix
+// partition: it routes greedily from s toward t over the full CSR arrays but
+// stops the moment the walk steps onto a vertex the shard does not own,
+// returning that vertex so the caller can forward the continuation to the
+// owning peer (internal/serve's /cluster/hop path).
+//
+// The scores, comparison order and tie-breaks are exactly GreedyCSR's, so
+// stitching the per-shard segments back together reproduces the single-node
+// episode bit for bit: greedy under the standard objective is strictly
+// φ-increasing, hence the walk never revisits a vertex even across shard
+// boundaries, and Unique == len(Path) holds for every segment and for the
+// merged path.
+//
+// Return values:
+//
+//	exit >= 0: the walk stepped onto non-owned vertex exit (never t —
+//	    arriving at the target is delivery wherever it lives). out holds the
+//	    segment so far: Path ends at exit, Success false, Failure FailNone —
+//	    deliberately unclassified, because the episode is not over.
+//	exit == -1: the episode terminated on this shard. out is classified
+//	    exactly as GreedyCSR would: delivered, dead-end, or a budget cut
+//	    (FailDeadline with the path reset to s).
+//
+// owned must have length g.N(); owned[s] is not required — a hop request
+// that raced a membership change still routes, it just forwards again on the
+// next step.
+func GreedyCSRPartial(g *graph.Graph, t, s int, owned []bool, b Budget, sc *Scratch, out *Result) (exit int) {
+	out.reset(s)
+	offsets, adj := g.CSR()
+	pos := g.Positions()
+	space := pos.Space()
+	xt := pos.At(t)
+	weights := g.Weights()
+	norm := 1 / (g.WMin() * g.Intensity())
+	sc.beginScores(g.N())
+	scores, stamps, epoch := sc.scores, sc.stamps, sc.epoch
+
+	score := func(v int) float64 {
+		if stamps[v] == epoch {
+			return scores[v]
+		}
+		var ph float64
+		if v == t {
+			ph = inf
+		} else {
+			w := 1.0
+			if weights != nil {
+				w = weights[v]
+			}
+			ph = w * norm / space.DistPow(pos.At(v), xt)
+		}
+		scores[v] = ph
+		stamps[v] = epoch
+		return ph
+	}
+
+	scans := 0
+	v := s
+	for v != t {
+		scans++
+		if b.MaxScans > 0 && scans > b.MaxScans {
+			out.cutDeadline(s)
+			return -1
+		}
+		if !b.Deadline.IsZero() && time.Now().After(b.Deadline) {
+			out.cutDeadline(s)
+			return -1
+		}
+		best := -1
+		var bestScore float64
+		for _, u32 := range adj[offsets[v]:offsets[v+1]] {
+			u := int(u32)
+			su := score(u)
+			if best == -1 || better(su, bestScore, u, best) {
+				best, bestScore = u, su
+			}
+		}
+		if best < 0 || !better(bestScore, score(v), best, v) {
+			out.Stuck = v
+			out.Unique = len(out.Path)
+			out.classify()
+			return -1
+		}
+		out.step(best)
+		v = best
+		if v != t && !owned[v] {
+			// Crossed the shard boundary: hand the walk to v's owner. The
+			// segment stays unclassified — Success false, Failure FailNone —
+			// which no terminal episode ever is.
+			out.Unique = len(out.Path)
+			return v
+		}
+	}
+	out.Success = true
+	out.Unique = len(out.Path)
+	out.classify()
+	return -1
+}

@@ -1,0 +1,191 @@
+package route
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/girg"
+	"repro/internal/graph"
+	"repro/internal/torus"
+	"repro/internal/xrand"
+)
+
+// stitchCluster routes s→t by chaining GreedyCSRPartial segments across the
+// given shard masks, the way the serving layer's hop forwarding does, and
+// returns the merged episode.
+func stitchCluster(t *testing.T, g *graph.Graph, masks [][]bool, codes []uint64, bits int, prefixes []torus.Prefix, src, dst int) Result {
+	t.Helper()
+	ownerOf := func(v int) int {
+		for i, p := range prefixes {
+			if p.Matches(codes[v], bits) {
+				return i
+			}
+		}
+		t.Fatalf("vertex %d unowned", v)
+		return -1
+	}
+	var sc Scratch
+	var merged Result
+	shard := ownerOf(src)
+	cur := src
+	first := true
+	for hops := 0; ; hops++ {
+		if hops > 64 {
+			t.Fatal("stitching did not terminate")
+		}
+		var seg Result
+		exit := GreedyCSRPartial(g, dst, cur, masks[shard], Budget{}, &sc, &seg)
+		if first {
+			merged = Result{Path: append([]int(nil), seg.Path...)}
+			first = false
+		} else {
+			// The segment starts at the exit vertex the previous shard
+			// already appended.
+			merged.Path = append(merged.Path, seg.Path[1:]...)
+		}
+		merged.Moves = len(merged.Path) - 1
+		if exit < 0 {
+			merged.Success = seg.Success
+			merged.Stuck = seg.Stuck
+			merged.Truncated = seg.Truncated
+			merged.Failure = seg.Failure
+			merged.Unique = len(merged.Path)
+			return merged
+		}
+		cur = exit
+		shard = ownerOf(exit)
+	}
+}
+
+// TestGreedyCSRPartialStitchEquivalence checks the cluster invariant the hop
+// forwarding relies on: chaining per-shard partial segments reproduces the
+// single-node GreedyCSR episode exactly — same path, same classification.
+func TestGreedyCSRPartialStitchEquivalence(t *testing.T) {
+	p := girg.DefaultParams(1500)
+	p.FixedN = true
+	g, err := girg.Generate(p, 11, girg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes, bits, err := graph.MortonCodes(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []string{"0", "10", "11"}
+	prefixes := make([]torus.Prefix, len(specs))
+	masks := make([][]bool, len(specs))
+	for i, s := range specs {
+		prefixes[i], err = torus.ParsePrefix(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		masks[i], err = graph.OwnedMask(codes, bits, prefixes[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var sc Scratch
+	rng := xrand.New(5)
+	crossed := 0
+	for i := 0; i < 200; i++ {
+		s, d := rng.IntN(g.N()), rng.IntN(g.N())
+		if s == d {
+			continue
+		}
+		var want Result
+		GreedyCSR(g, d, s, Budget{}, &sc, &want)
+		got := stitchCluster(t, g, masks, codes, bits, prefixes, s, d)
+		if got.Success != want.Success || got.Moves != want.Moves ||
+			got.Unique != want.Unique || got.Failure != want.Failure || got.Stuck != want.Stuck {
+			t.Fatalf("pair (%d,%d): stitched %+v != single-node %+v", s, d, got, want)
+		}
+		for j := range want.Path {
+			if got.Path[j] != want.Path[j] {
+				t.Fatalf("pair (%d,%d): path diverges at hop %d: %v vs %v", s, d, j, got.Path, want.Path)
+			}
+		}
+		if want.Moves > 0 {
+			crossed++
+		}
+	}
+	if crossed == 0 {
+		t.Fatal("no non-trivial episodes routed; test graph too sparse")
+	}
+}
+
+// TestGreedyCSRPartialExitUnclassified pins the partial-segment contract:
+// an exiting segment is unclassified (FailNone, not Success) and its exit
+// vertex is never the target.
+func TestGreedyCSRPartialExitUnclassified(t *testing.T) {
+	p := girg.DefaultParams(800)
+	p.FixedN = true
+	g, err := girg.Generate(p, 3, girg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A mask owning only the even vertices forces quick exits.
+	owned := make([]bool, g.N())
+	for v := range owned {
+		owned[v] = v%2 == 0
+	}
+	var sc Scratch
+	rng := xrand.New(9)
+	exits := 0
+	for i := 0; i < 100; i++ {
+		s, d := rng.IntN(g.N())&^1, rng.IntN(g.N())
+		if s == d {
+			continue
+		}
+		var seg Result
+		exit := GreedyCSRPartial(g, d, s, owned, Budget{}, &sc, &seg)
+		if exit < 0 {
+			continue
+		}
+		exits++
+		if exit == d {
+			t.Fatalf("exit vertex is the target %d", d)
+		}
+		if owned[exit] {
+			t.Fatalf("exit vertex %d is owned", exit)
+		}
+		if seg.Success || seg.Failure != FailNone {
+			t.Fatalf("exiting segment classified: %+v", seg)
+		}
+		if seg.Path[len(seg.Path)-1] != exit {
+			t.Fatalf("segment path %v does not end at exit %d", seg.Path, exit)
+		}
+	}
+	if exits == 0 {
+		t.Fatal("no segment ever exited; mask too permissive")
+	}
+}
+
+// TestGreedyCSRPartialBudgetCut checks budget cuts classify exactly like
+// GreedyCSR's: FailDeadline with the path reset to the source.
+func TestGreedyCSRPartialBudgetCut(t *testing.T) {
+	p := girg.DefaultParams(500)
+	p.FixedN = true
+	g, err := girg.Generate(p, 2, girg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := make([]bool, g.N())
+	for v := range owned {
+		owned[v] = true
+	}
+	var sc Scratch
+	var res Result
+	exit := GreedyCSRPartial(g, g.N()-1, 0, owned, Budget{MaxScans: 1}, &sc, &res)
+	if exit != -1 {
+		t.Fatalf("budget-cut segment returned exit %d", exit)
+	}
+	if res.Failure != FailDeadline || len(res.Path) != 1 || res.Path[0] != 0 {
+		t.Fatalf("budget cut = %+v, want FailDeadline with path [0]", res)
+	}
+	var res2 Result
+	exit = GreedyCSRPartial(g, g.N()-1, 0, owned, Budget{Deadline: time.Now().Add(-time.Second)}, &sc, &res2)
+	if exit != -1 || res2.Failure != FailDeadline {
+		t.Fatalf("past-deadline segment = exit %d %+v, want FailDeadline", exit, res2)
+	}
+}

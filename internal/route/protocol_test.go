@@ -8,7 +8,7 @@ import (
 // stubProtocol is a registrable test protocol.
 type stubProtocol struct{ name string }
 
-func (p stubProtocol) Name() string                          { return p.name }
+func (p stubProtocol) Name() string                               { return p.name }
 func (p stubProtocol) Route(g Graph, obj Objective, s int) Result { return Result{Path: []int{s}} }
 
 func TestRegisterBuiltins(t *testing.T) {

@@ -27,11 +27,16 @@ const (
 	// FailCancelled marks episodes a cancelled batch context skipped; they
 	// appear in counters, not in per-episode Results.
 	FailCancelled Failure = "cancelled"
+	// FailShardUnreachable marks a cluster episode whose greedy walk crossed
+	// into a shard no reachable peer serves: the owning daemon is down (or
+	// serving a mismatched snapshot) and the hop forward failed fast instead
+	// of hanging. Single-process engines never produce it.
+	FailShardUnreachable Failure = "shard-unreachable"
 )
 
 // Failures lists the taxonomy in reporting order.
 func Failures() []Failure {
-	return []Failure{FailDeadEnd, FailTruncated, FailDeadline, FailCrashedTarget, FailCancelled}
+	return []Failure{FailDeadEnd, FailTruncated, FailDeadline, FailCrashedTarget, FailCancelled, FailShardUnreachable}
 }
 
 // Result describes one routing episode.

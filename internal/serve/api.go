@@ -3,6 +3,7 @@ package serve
 import (
 	"net/http"
 
+	"repro/internal/cluster"
 	"repro/internal/faults"
 	"repro/internal/route"
 )
@@ -57,6 +58,9 @@ type RouteResponse struct {
 	// Attempts counts routing attempts, >1 when transient failures were
 	// retried with backoff.
 	Attempts int `json:"attempts"`
+	// Forwards counts cluster hop forwards of the final attempt (0 on a
+	// single-node daemon and for walks that stayed shard-local).
+	Forwards int `json:"forwards,omitempty"`
 	// ElapsedMs is the server-side wall time of the whole request, retries
 	// and backoff included.
 	ElapsedMs float64 `json:"elapsed_ms"`
@@ -128,8 +132,84 @@ type BatchItemResult struct {
 	Path    []int  `json:"path,omitempty"`
 	// Attempts counts routing attempts of this item (>1 after retries).
 	Attempts int `json:"attempts"`
+	// Forwards counts cluster hop forwards of the item's final attempt.
+	Forwards int `json:"forwards,omitempty"`
 	// ElapsedMs is the item's share of the batch wall time.
 	ElapsedMs float64 `json:"elapsed_ms"`
+}
+
+// HopRequest is the body of POST /cluster/hop: a shard daemon hands the
+// continuation of a greedy walk to the peer owning the vertex the walk
+// stepped onto. The receiver routes its own segment and forwards again if
+// the walk crosses out of its shard, so the response always describes the
+// rest of the episode, not just one segment.
+type HopRequest struct {
+	// Graph names the snapshot; it must be the receiver's clustered snapshot
+	// (fingerprints are pre-checked by membership, a mismatch is 409).
+	Graph string `json:"graph,omitempty"`
+	// S is the vertex the walk entered the receiver's shard on; T is the
+	// episode target.
+	S int `json:"s"`
+	T int `json:"t"`
+	// DeadlineMs is the sender's remaining request budget; the receiver
+	// routes under min(DeadlineMs, its own RequestTimeout).
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+	// Depth counts hop forwards so far; past the cap the chain is cut off as
+	// a truncated episode instead of looping forever.
+	Depth int `json:"depth"`
+}
+
+// HopResponse is a classified continuation: the rest of the episode from
+// HopRequest.S on, with downstream failure classes (including
+// shard-unreachable) bubbled up. Any classified outcome is HTTP 200 — an
+// answer — so the sender only treats transport errors and 5xx as forward
+// failures.
+type HopResponse struct {
+	// Success, Failure and Stuck classify the episode's remainder exactly
+	// like RouteResponse.
+	Success bool   `json:"success"`
+	Failure string `json:"failure,omitempty"`
+	Stuck   int    `json:"stuck"`
+	// Path is the continuation's vertex path, starting at HopRequest.S (the
+	// sender drops the duplicated first vertex when stitching).
+	Path []int `json:"path"`
+	// Moves is len(Path)-1.
+	Moves int `json:"moves"`
+	// Forwards counts the hop forwards downstream of the receiver, itself
+	// included once per boundary crossing.
+	Forwards int `json:"forwards"`
+}
+
+// ReadyGraph describes one installed snapshot on GET /readyz.
+type ReadyGraph struct {
+	// Fingerprint is the structural hash of the snapshot (hex), the same
+	// value girgen logs and /admin/swap returns — operators can verify what
+	// a daemon is actually serving without touching admin endpoints.
+	Fingerprint string `json:"fingerprint"`
+	Vertices    int    `json:"vertices"`
+	Edges       int    `json:"edges"`
+	Label       string `json:"label"`
+}
+
+// ReadyCluster describes the daemon's shard and membership view on
+// GET /readyz when cluster mode is on.
+type ReadyCluster struct {
+	// Self is the advertised peer id; Shard its Morton prefix ("" = whole
+	// space).
+	Self  string `json:"self"`
+	Shard string `json:"shard"`
+	// OwnedVertices is the local shard's share of the snapshot.
+	OwnedVertices int `json:"owned_vertices"`
+	// Peers is the membership table with failure-detector states.
+	Peers []cluster.PeerStatus `json:"peers"`
+}
+
+// ReadyResponse is the 200 body of GET /readyz (draining and graphless
+// daemons answer plain-text 503s, which probes treat by status alone).
+type ReadyResponse struct {
+	Status  string                `json:"status"`
+	Graphs  map[string]ReadyGraph `json:"graphs"`
+	Cluster *ReadyCluster         `json:"cluster,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response the daemon writes.
@@ -188,7 +268,7 @@ func StatusFor(f route.Failure) int {
 		return http.StatusOK
 	case route.FailDeadline:
 		return http.StatusGatewayTimeout
-	case route.FailCrashedTarget:
+	case route.FailCrashedTarget, route.FailShardUnreachable:
 		return http.StatusBadGateway
 	case route.FailCancelled:
 		return http.StatusServiceUnavailable
@@ -199,7 +279,8 @@ func StatusFor(f route.Failure) int {
 // ExitCodeFor maps a routing outcome to a process exit code — the CLI
 // analogue of StatusFor, used by cmd/route so scripts can branch on *why*
 // routing failed: success=0, dead-end=2, deadline=3, truncated=4,
-// crashed-target=5, cancelled=6 (1 stays the generic error exit).
+// crashed-target=5, cancelled=6, shard-unreachable=7 (1 stays the generic
+// error exit).
 func ExitCodeFor(f route.Failure) int {
 	switch f {
 	case route.FailNone:
@@ -214,6 +295,8 @@ func ExitCodeFor(f route.Failure) int {
 		return 5
 	case route.FailCancelled:
 		return 6
+	case route.FailShardUnreachable:
+		return 7
 	}
 	return 1
 }

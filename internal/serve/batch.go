@@ -92,7 +92,9 @@ func (s *Server) routeOne(r *http.Request, nw *core.Network, graphName string, q
 		res      = &es.out
 		epErr    error
 		attempts int
+		forwards int
 	)
+	clustered := s.clusterEligible(nw, protoName, q)
 	for attempt := 1; ; attempt++ {
 		attempts = attempt
 		remaining := time.Until(deadline)
@@ -122,7 +124,16 @@ func (s *Server) routeOne(r *http.Request, nw *core.Network, graphName string, q
 			collector.Reset()
 			epCfg.Observer = collector
 		}
-		epErr = nw.RouteEpisodeInto(epCfg, &es.sc, res)
+		if clustered {
+			// Sharded path: partial greedy over the local shard, continuation
+			// forwarded to the owning peer, merged result recorded as one
+			// engine episode. Budget mapping mirrors RouteEpisodeInto's.
+			forwards = s.clusterRoute(r.Context(), graphName, q.S, q.T,
+				time.Now().Add(remaining), es)
+			epErr = nil
+		} else {
+			epErr = nw.RouteEpisodeInto(epCfg, &es.sc, res)
+		}
 		if collector != nil {
 			switch {
 			case epErr != nil:
@@ -196,7 +207,7 @@ func (s *Server) routeOne(r *http.Request, nw *core.Network, graphName string, q
 	}
 	logger.Info("route episode", "graph", graphName, "protocol", protoName,
 		"s", q.S, "t", q.T, "success", res.Success, "failure", string(res.Failure),
-		"moves", res.Moves, "attempts", attempts,
+		"moves", res.Moves, "attempts", attempts, "forwards", forwards,
 		"elapsed_ms", float64(time.Since(start).Microseconds())/1000)
 	resp := RouteResponse{
 		Graph:    graphName,
@@ -207,6 +218,7 @@ func (s *Server) routeOne(r *http.Request, nw *core.Network, graphName string, q
 		Moves:     res.Moves,
 		Unique:    res.Unique,
 		Attempts:  attempts,
+		Forwards:  forwards,
 		ElapsedMs: float64(time.Since(start).Microseconds()) / 1000,
 	}
 	if q.IncludePath {
@@ -340,6 +352,7 @@ func (s *Server) handleRouteBatch(w http.ResponseWriter, r *http.Request) {
 			Unique:    out.resp.Unique,
 			Path:      out.resp.Path,
 			Attempts:  out.resp.Attempts,
+			Forwards:  out.resp.Forwards,
 			ElapsedMs: out.resp.ElapsedMs,
 		}
 	}

@@ -1,0 +1,462 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/route"
+)
+
+// This file is the cluster half of the serving layer: when EnableCluster
+// installs a shard map, eligible /route queries run the partial greedy
+// router over the local shard and forward the continuation to the owning
+// peer over POST /cluster/hop. Forwarding reuses the daemon's resilience
+// vocabulary — a circuit breaker per (peer, graph), the RetryPolicy's
+// backoff, the request deadline — and a forward that cannot be completed
+// comes back as the classified shard-unreachable failure, never a hang:
+// the cluster degrades to "that shard's vertices are unreachable" while
+// every shard-local route keeps working.
+
+// maxHopDepth caps hop chaining. Greedy never revisits a shard (the walk is
+// strictly objective-increasing), so a legitimate chain is bounded by the
+// shard count; the cap only exists to turn a routing bug into a classified
+// truncated episode instead of a forwarding loop.
+const maxHopDepth = 16
+
+// peerKey identifies one per-(peer, graph) forward breaker. These are
+// deliberately separate from the (graph, protocol) request breakers: a dead
+// peer must fail its own forwards fast without poisoning shard-local
+// routing on the same graph.
+type peerKey struct{ peer, graph string }
+
+// EnableCluster installs the shard map and starts answering /cluster/hop
+// and /cluster/gossip. client carries hop forwards and may be nil (a
+// default client; per-request deadlines bound every call). Call before
+// serving — the field is not synchronized against in-flight requests.
+func (s *Server) EnableCluster(node *cluster.Node, client *http.Client) {
+	if client == nil {
+		client = &http.Client{}
+	}
+	s.clusterNode = node
+	s.clusterClient = client
+}
+
+// ClusterNode returns the installed shard map (nil on a single-node
+// daemon).
+func (s *Server) ClusterNode() *cluster.Node { return s.clusterNode }
+
+// PeerBreaker exposes the (peer, graph) forward breaker, creating it on
+// first use like the forward path does.
+func (s *Server) PeerBreaker(peer, graph string) *Breaker {
+	if graph == "" {
+		graph = DefaultGraph
+	}
+	return s.peerBreaker(peer, graph)
+}
+
+func (s *Server) peerBreaker(peer, graph string) *Breaker {
+	key := peerKey{peer, graph}
+	s.peerBreakerMu.Lock()
+	defer s.peerBreakerMu.Unlock()
+	b, ok := s.peerBreakers[key]
+	if !ok {
+		b = NewBreaker(s.cfg.Breaker)
+		s.peerBreakers[key] = b
+	}
+	return b
+}
+
+// clusterEligible reports whether one validated query can take the sharded
+// path: cluster mode on, pure greedy under the standard objective, no fault
+// plan, and the resolved snapshot is the one the shard map was built over
+// (pointer equality — after a hot swap the mask no longer applies and the
+// query falls back to local full-graph routing).
+func (s *Server) clusterEligible(nw *core.Network, protoName string, q RouteRequest) bool {
+	node := s.clusterNode
+	return node != nil &&
+		protoName == string(core.ProtoGreedy) &&
+		nw.StandardPhi &&
+		len(q.Faults) == 0 &&
+		nw.Graph == node.Graph()
+}
+
+// clusterRoute runs one attempt of a sharded greedy episode: the local
+// segment via the partial router, then — if the walk crossed the shard
+// boundary — the continuation via forwardHop, stitched back into es.out.
+// The merged result is bit-identical to single-node GreedyCSR whenever the
+// owning peers answered; a failed forward classifies the episode as
+// shard-unreachable. Exactly one engine episode is recorded here, at the
+// entry daemon, with the merged result — hop receivers record nothing, so
+// cluster-wide counters sum honestly. Returns the forward count of this
+// attempt.
+func (s *Server) clusterRoute(ctx context.Context, graphName string, sv, tv int, deadline time.Time, es *episodeState) int {
+	logger := obs.Logger(ctx)
+	node := s.clusterNode
+	start := time.Now()
+	res := &es.out
+	b := route.Budget{MaxScans: s.cfg.MaxHops, Deadline: deadline}
+	exit := route.GreedyCSRPartial(node.Graph(), tv, sv, node.OwnedMask(), b, &es.sc, res)
+	forwards := 0
+	if exit >= 0 {
+		hop, ok := s.forwardHop(ctx, graphName, exit, tv, deadline, 1)
+		if ok {
+			mergeHop(res, hop)
+			forwards = 1 + hop.Forwards
+		} else {
+			s.shardUnreachable.Add(1)
+			res.Success = false
+			res.Failure = route.FailShardUnreachable
+			res.Stuck = -1
+			res.Unique = len(res.Path)
+			forwards = 1
+			logger.Warn("shard unreachable", "graph", graphName,
+				"exit_vertex", exit, "t", tv)
+		}
+	}
+	core.RecordEpisode(*res, time.Since(start))
+	return forwards
+}
+
+// mergeHop stitches a hop continuation onto the local segment. The
+// continuation starts at the exit vertex the segment already ends with, so
+// its first vertex is dropped; greedy is strictly objective-increasing, so
+// the merged path has no revisits and Unique stays len(Path).
+func mergeHop(res *route.Result, hop HopResponse) {
+	if len(hop.Path) > 1 {
+		res.Path = append(res.Path, hop.Path[1:]...)
+	}
+	res.Moves += hop.Moves
+	res.Unique = len(res.Path)
+	res.Success = hop.Success
+	res.Failure = route.Failure(hop.Failure)
+	res.Stuck = hop.Stuck
+	res.Truncated = hop.Failure == string(route.FailTruncated)
+}
+
+// forwardHop hands the walk at vertex `from` to its owning peer and returns
+// the classified continuation. Transport errors and 5xx answers are retried
+// under the request deadline with the daemon's backoff policy, count
+// against the (peer, graph) breaker and strike the membership's failure
+// detector; 4xx answers (snapshot mismatch, validation) are permanent. ok
+// is false when no answer could be obtained — no routable owner, breaker
+// open, retries exhausted, deadline spent — and the caller classifies the
+// episode shard-unreachable.
+func (s *Server) forwardHop(ctx context.Context, graphName string, from, t int, deadline time.Time, depth int) (HopResponse, bool) {
+	logger := obs.Logger(ctx)
+	node := s.clusterNode
+	for attempt := 1; ; attempt++ {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return HopResponse{}, false
+		}
+		peer, ok := node.OwnerOf(from)
+		if !ok {
+			logger.Warn("forward failed", "reason", "no routable owner", "vertex", from)
+			return HopResponse{}, false
+		}
+		pb := s.peerBreaker(peer.ID, graphName)
+		if _, err := pb.Allow(); err != nil {
+			logger.Warn("forward failed", "reason", "peer breaker open", "peer", peer.ID)
+			return HopResponse{}, false
+		}
+		s.forwards.Add(1)
+		resp, status, err := s.postHop(ctx, peer, HopRequest{
+			Graph: graphName,
+			S:     from, T: t,
+			DeadlineMs: remaining.Milliseconds(),
+			Depth:      depth,
+		}, deadline)
+		if err == nil && status == http.StatusOK {
+			pb.Record(false)
+			node.Members().ReportSuccess(peer.ID)
+			return resp, true
+		}
+		s.forwardFails.Add(1)
+		pb.Record(true)
+		node.Members().ReportFailure(peer.ID)
+		if err != nil {
+			logger.Warn("forward failed", "peer", peer.ID, "attempt", attempt, "err", err)
+		} else {
+			logger.Warn("forward failed", "peer", peer.ID, "attempt", attempt, "status", status)
+			if status >= 400 && status < 500 {
+				return HopResponse{}, false
+			}
+		}
+		if attempt >= s.cfg.Retry.MaxAttempts {
+			return HopResponse{}, false
+		}
+		wait := s.cfg.Retry.Backoff(hash64(uint64(from), uint64(t)), attempt)
+		if rem := time.Until(deadline); wait > rem {
+			wait = rem
+		}
+		if wait > 0 {
+			timer := time.NewTimer(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return HopResponse{}, false
+			}
+		}
+	}
+}
+
+// postHop is one POST /cluster/hop round trip, bounded by the request
+// deadline and carrying the request id across the hop (satellite of the
+// observability story: one id labels the episode on every shard it
+// touches).
+func (s *Server) postHop(ctx context.Context, peer cluster.Peer, req HopRequest, deadline time.Time) (HopResponse, int, error) {
+	var resp HopResponse
+	body, err := json.Marshal(req)
+	if err != nil {
+		return resp, 0, err
+	}
+	hctx, cancel := context.WithDeadline(ctx, deadline)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(hctx, http.MethodPost,
+		"http://"+peer.ID+"/cluster/hop", bytes.NewReader(body))
+	if err != nil {
+		return resp, 0, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if id := obs.RequestID(ctx); id != "" {
+		hreq.Header.Set("X-Request-ID", id)
+	}
+	hresp, err := s.clusterClient.Do(hreq)
+	if err != nil {
+		return resp, 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(hresp.Body, 1<<16))
+		hresp.Body.Close()
+	}()
+	if hresp.StatusCode != http.StatusOK {
+		return resp, hresp.StatusCode, nil
+	}
+	if err := json.NewDecoder(io.LimitReader(hresp.Body, 8<<20)).Decode(&resp); err != nil {
+		return resp, hresp.StatusCode, err
+	}
+	return resp, hresp.StatusCode, nil
+}
+
+// handleClusterHop serves POST /cluster/hop: route the continuation of a
+// peer's greedy walk over the local shard, forwarding again if it crosses
+// out. Hops bypass the admission pool — they are the continuation of a
+// request already admitted at the entry daemon, and waiting for a slot here
+// could deadlock two shards forwarding into each other — but they respect
+// draining. Any classified outcome is 200; the entry daemon records the
+// episode, so this handler touches no engine counters.
+func (s *Server) handleClusterHop(w http.ResponseWriter, r *http.Request) {
+	logger := obs.Logger(r.Context())
+	node := s.clusterNode
+	if node == nil {
+		writeError(w, http.StatusNotFound, 0, "not clustered")
+		return
+	}
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, 0, "POST required")
+		return
+	}
+	if !s.beginRequest() {
+		writeError(w, http.StatusServiceUnavailable, s.cfg.RetryAfter, "server draining")
+		return
+	}
+	defer s.inflight.Done()
+
+	var req HopRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, 0, "bad request body: %v", err)
+		return
+	}
+	graphName := req.Graph
+	if graphName == "" {
+		graphName = DefaultGraph
+	}
+	nw, ok := s.Network(graphName)
+	if !ok {
+		writeError(w, http.StatusNotFound, 0, "unknown graph %q", graphName)
+		return
+	}
+	if nw.Graph != node.Graph() {
+		writeError(w, http.StatusConflict, 0, "graph %q is not the clustered snapshot", graphName)
+		return
+	}
+	if req.S < 0 || req.S >= nw.Graph.N() || req.T < 0 || req.T >= nw.Graph.N() {
+		writeError(w, http.StatusBadRequest, 0, "vertex pair (%d, %d) out of range (n = %d)",
+			req.S, req.T, nw.Graph.N())
+		return
+	}
+	s.hopsServed.Add(1)
+
+	deadline := time.Now().Add(s.cfg.RequestTimeout)
+	if req.DeadlineMs > 0 {
+		if d := time.Now().Add(time.Duration(req.DeadlineMs) * time.Millisecond); d.Before(deadline) {
+			deadline = d
+		}
+	}
+	if req.Depth > maxHopDepth {
+		logger.Warn("hop chain truncated", "depth", req.Depth, "s", req.S, "t", req.T)
+		writeJSON(w, http.StatusOK, HopResponse{
+			Failure: string(route.FailTruncated),
+			Stuck:   -1,
+			Path:    []int{req.S},
+		})
+		return
+	}
+
+	es := episodePool.Get().(*episodeState)
+	defer episodePool.Put(es)
+	res := &es.out
+	b := route.Budget{MaxScans: s.cfg.MaxHops, Deadline: deadline}
+	exit := route.GreedyCSRPartial(node.Graph(), req.T, req.S, node.OwnedMask(), b, &es.sc, res)
+	resp := HopResponse{}
+	if exit >= 0 {
+		hop, ok := s.forwardHop(r.Context(), graphName, exit, req.T, deadline, req.Depth+1)
+		if ok {
+			mergeHop(res, hop)
+			resp.Forwards = 1 + hop.Forwards
+		} else {
+			s.shardUnreachable.Add(1)
+			res.Success = false
+			res.Failure = route.FailShardUnreachable
+			res.Stuck = -1
+			res.Unique = len(res.Path)
+			resp.Forwards = 1
+		}
+	}
+	resp.Success = res.Success
+	resp.Failure = string(res.Failure)
+	resp.Stuck = res.Stuck
+	resp.Moves = res.Moves
+	resp.Path = append([]int(nil), res.Path...)
+	logger.Debug("hop served", "s", req.S, "t", req.T, "depth", req.Depth,
+		"success", resp.Success, "failure", resp.Failure, "forwards", resp.Forwards)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleClusterGossip serves POST /cluster/gossip: merge the sender and its
+// relayed view into the membership and answer with ours — the pull half of
+// push/pull. Gossip stays up while draining so peers observe the shutdown
+// as liveness, not silence.
+func (s *Server) handleClusterGossip(w http.ResponseWriter, r *http.Request) {
+	node := s.clusterNode
+	if node == nil {
+		writeError(w, http.StatusNotFound, 0, "not clustered")
+		return
+	}
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, 0, "POST required")
+		return
+	}
+	var req cluster.GossipRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, 0, "bad request body: %v", err)
+		return
+	}
+	view := node.Members().Receive(req.From, req.View)
+	writeJSON(w, http.StatusOK, cluster.GossipResponse{Self: node.Self(), View: view})
+}
+
+// writeClusterMetrics emits the smallworld_cluster_* families (only called
+// when cluster mode is on).
+func (s *Server) writeClusterMetrics(p *obs.PromWriter) {
+	node := s.clusterNode
+	p.Family("smallworld_cluster_forwards_total", "counter", "Hop forwards attempted.")
+	p.SampleInt("smallworld_cluster_forwards_total", nil, s.forwards.Load())
+	p.Family("smallworld_cluster_forward_failures_total", "counter", "Hop forward attempts that failed (transport error, non-200, breaker open).")
+	p.SampleInt("smallworld_cluster_forward_failures_total", nil, s.forwardFails.Load())
+	p.Family("smallworld_cluster_shard_unreachable_total", "counter", "Episodes classified shard-unreachable at this daemon.")
+	p.SampleInt("smallworld_cluster_shard_unreachable_total", nil, s.shardUnreachable.Load())
+	p.Family("smallworld_cluster_hops_served_total", "counter", "POST /cluster/hop continuations served.")
+	p.SampleInt("smallworld_cluster_hops_served_total", nil, s.hopsServed.Load())
+	p.Family("smallworld_cluster_gossip_rounds_total", "counter", "Gossip rounds ticked.")
+	p.SampleInt("smallworld_cluster_gossip_rounds_total", nil, int64(node.Members().Round()))
+
+	counts := node.Members().CountByState()
+	p.Family("smallworld_cluster_peers", "gauge", "Known peers by failure-detector state.")
+	for _, st := range []cluster.PeerState{cluster.StateAlive, cluster.StateSuspect, cluster.StateDown} {
+		p.SampleInt("smallworld_cluster_peers",
+			[]obs.Label{{Name: "state", Value: st.String()}}, int64(counts[st]))
+	}
+
+	type pbSample struct {
+		peer, graph string
+		state       float64
+		opens       int64
+	}
+	s.peerBreakerMu.Lock()
+	samples := make([]pbSample, 0, len(s.peerBreakers))
+	for key, b := range s.peerBreakers {
+		samples = append(samples, pbSample{key.peer, key.graph, breakerStateValue(b.State()), b.Opens()})
+	}
+	s.peerBreakerMu.Unlock()
+	sort.Slice(samples, func(i, j int) bool {
+		if samples[i].peer != samples[j].peer {
+			return samples[i].peer < samples[j].peer
+		}
+		return samples[i].graph < samples[j].graph
+	})
+	p.Family("smallworld_cluster_peer_breaker_state", "gauge", "Forward breaker state per (peer, graph): 0 closed, 1 open, 2 half-open.")
+	for _, b := range samples {
+		p.Sample("smallworld_cluster_peer_breaker_state",
+			[]obs.Label{{Name: "peer", Value: b.peer}, {Name: "graph", Value: b.graph}}, b.state)
+	}
+	p.Family("smallworld_cluster_peer_breaker_opens_total", "counter", "Cumulative forward breaker trips to open.")
+	for _, b := range samples {
+		p.SampleInt("smallworld_cluster_peer_breaker_opens_total",
+			[]obs.Label{{Name: "peer", Value: b.peer}, {Name: "graph", Value: b.graph}}, b.opens)
+	}
+}
+
+// clusterStats fills the cluster slice of ServeStats.
+func (s *Server) clusterStats(st *ServeStats) {
+	node := s.clusterNode
+	if node == nil {
+		return
+	}
+	st.Cluster = &ClusterStats{
+		Self:             node.Self().ID,
+		Shard:            node.Self().Shard,
+		OwnedVertices:    node.OwnedCount(),
+		GossipRounds:     node.Members().Round(),
+		Forwards:         s.forwards.Load(),
+		ForwardFails:     s.forwardFails.Load(),
+		HopsServed:       s.hopsServed.Load(),
+		ShardUnreachable: s.shardUnreachable.Load(),
+		Peers:            map[string]string{},
+		PeerBreakers:     map[string]string{},
+	}
+	for _, ps := range node.Members().Snapshot() {
+		st.Cluster.Peers[ps.Peer.ID] = ps.StateS
+	}
+	s.peerBreakerMu.Lock()
+	for key, b := range s.peerBreakers {
+		st.Cluster.PeerBreakers[key.peer+"/"+key.graph] = fmt.Sprintf("%s (opens=%d)", b.State(), b.Opens())
+	}
+	s.peerBreakerMu.Unlock()
+}
+
+// ClusterStats is the cluster slice of the "smallworld.serve" expvar export.
+type ClusterStats struct {
+	Self             string
+	Shard            string
+	OwnedVertices    int
+	GossipRounds     uint64
+	Forwards         int64
+	ForwardFails     int64
+	HopsServed       int64
+	ShardUnreachable int64
+	// Peers maps peer id to failure-detector state.
+	Peers map[string]string
+	// PeerBreakers maps "peer/graph" to forward breaker state.
+	PeerBreakers map[string]string
+}

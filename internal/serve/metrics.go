@@ -24,6 +24,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p := obs.NewPromWriter(w)
 	obs.WriteEngineMetrics(p, core.Stats())
 	s.writeServeMetrics(p)
+	if s.clusterNode != nil {
+		s.writeClusterMetrics(p)
+	}
 	obs.WriteTracerMetrics(p, s.tracer)
 	obs.WriteRuntimeMetrics(p)
 	if err := p.Err(); err != nil {

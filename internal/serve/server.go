@@ -41,6 +41,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/girg"
@@ -129,6 +130,19 @@ type Server struct {
 	breakerMu sync.Mutex
 	breakers  map[string]*Breaker // keyed "graph/protocol"
 
+	// Cluster mode (nil clusterNode = single-node daemon). Peer breakers are
+	// separate from the (graph, protocol) request breakers above: a dead
+	// peer's forwards must fail fast without poisoning shard-local routing.
+	clusterNode   *cluster.Node
+	clusterClient *http.Client
+	peerBreakerMu sync.Mutex
+	peerBreakers  map[peerKey]*Breaker
+
+	forwards         atomic.Int64
+	forwardFails     atomic.Int64
+	hopsServed       atomic.Int64
+	shardUnreachable atomic.Int64
+
 	// drainMu orders request registration against Drain: handlers register
 	// under RLock, Drain flips the flag under Lock, so no handler can slip
 	// past the draining check and Add to a WaitGroup that is already being
@@ -165,12 +179,13 @@ func New(cfg Config) *Server {
 		logger = slog.Default()
 	}
 	s := &Server{
-		cfg:      c,
-		pool:     NewPool(c.Workers, c.QueueDepth),
-		breakers: map[string]*Breaker{},
-		logger:   logger,
-		tracer:   c.Tracer,
-		rids:     obs.NewRequestIDs(salt),
+		cfg:          c,
+		pool:         NewPool(c.Workers, c.QueueDepth),
+		breakers:     map[string]*Breaker{},
+		peerBreakers: map[peerKey]*Breaker{},
+		logger:       logger,
+		tracer:       c.Tracer,
+		rids:         obs.NewRequestIDs(salt),
 	}
 	empty := map[string]*core.Network{}
 	s.graphs.Store(&empty)
@@ -315,17 +330,25 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/admin/swap", s.handleSwap)
+	mux.HandleFunc("/cluster/hop", s.handleClusterHop)
+	mux.HandleFunc("/cluster/gossip", s.handleClusterGossip)
 	return s.withRequestID(mux)
 }
 
-// withRequestID is the edge middleware: it generates the request id, returns
-// it in the X-Request-ID response header, and threads a request-scoped
-// logger (carrying the id) plus the id itself through the request context,
-// so every layer below — admission, retries, breaker trips, swaps, engine
-// episodes — logs under one correlatable id.
+// withRequestID is the edge middleware: it adopts the caller's X-Request-ID
+// when one is presented (and sane), minting one otherwise, returns it in
+// the X-Request-ID response header, and threads a request-scoped logger
+// (carrying the id) plus the id itself through the request context, so
+// every layer below — admission, retries, breaker trips, swaps, engine
+// episodes — logs under one correlatable id. Adoption is what stitches a
+// cluster episode together: the entry daemon's id rides every forwarded
+// hop, so one grep over all shards' logs reconstructs the whole walk.
 func (s *Server) withRequestID(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		_, id := s.rids.Next()
+		id := sanitizeRequestID(r.Header.Get("X-Request-ID"))
+		if id == "" {
+			_, id = s.rids.Next()
+		}
 		w.Header().Set("X-Request-ID", id)
 		ctx := obs.WithRequestID(r.Context(), id)
 		ctx = obs.WithLogger(ctx, s.logger.With("request_id", id))
@@ -333,16 +356,56 @@ func (s *Server) withRequestID(h http.Handler) http.Handler {
 	})
 }
 
+// sanitizeRequestID vets an incoming X-Request-ID for adoption: at most 64
+// bytes of [0-9A-Za-z_.-], or "" (mint our own). The bound keeps hostile
+// headers out of logs and response headers.
+func sanitizeRequestID(id string) string {
+	if id == "" || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c == '_', c == '.', c == '-':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
 // handleReady is the readiness probe: ready means not draining and at least
-// one snapshot installed.
+// one snapshot installed. The 200 body reports each installed snapshot's
+// fingerprint (so operators and peers can verify what a daemon actually
+// serves) and, in cluster mode, the shard and membership view; the 503
+// cases stay plain text, probes branch on status alone.
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	graphs := *s.graphs.Load()
 	switch {
 	case s.draining.Load():
 		http.Error(w, "draining", http.StatusServiceUnavailable)
-	case len(*s.graphs.Load()) == 0:
+	case len(graphs) == 0:
 		http.Error(w, "no graph loaded", http.StatusServiceUnavailable)
 	default:
-		fmt.Fprintln(w, "ok")
+		resp := ReadyResponse{Status: "ok", Graphs: make(map[string]ReadyGraph, len(graphs))}
+		for name, nw := range graphs {
+			resp.Graphs[name] = ReadyGraph{
+				Fingerprint: fmt.Sprintf("%016x", nw.Graph.Fingerprint()),
+				Vertices:    nw.Graph.N(),
+				Edges:       nw.Graph.M(),
+				Label:       nw.Label,
+			}
+		}
+		if node := s.clusterNode; node != nil {
+			resp.Cluster = &ReadyCluster{
+				Self:          node.Self().ID,
+				Shard:         node.Self().Shard,
+				OwnedVertices: node.OwnedCount(),
+				Peers:         node.Members().Snapshot(),
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
 	}
 }
 
@@ -551,6 +614,9 @@ type ServeStats struct {
 	// Breakers maps "graph/protocol" to breaker state ("closed", "open",
 	// "half-open") with the cumulative open count in parentheses.
 	Breakers map[string]string
+	// Cluster describes shard membership and forwarding (nil on a
+	// single-node daemon).
+	Cluster *ClusterStats `json:",omitempty"`
 }
 
 // Stats snapshots the server's serving-layer state.
@@ -572,6 +638,7 @@ func (s *Server) Stats() ServeStats {
 		st.Breakers[key] = fmt.Sprintf("%s (opens=%d)", b.State(), b.Opens())
 	}
 	s.breakerMu.Unlock()
+	s.clusterStats(&st)
 	return st
 }
 

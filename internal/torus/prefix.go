@@ -1,0 +1,96 @@
+package torus
+
+import "fmt"
+
+// Shard prefixes partition the torus by Morton code: because the code of a
+// cell at level l is a prefix of the codes of all its descendants, any set of
+// bit strings that forms a prefix-free cover of the code space — e.g. "0",
+// "10", "11" — partitions the vertices into contiguous Z-order ranges with
+// geometric locality. internal/cluster uses this to split a graph across
+// daemons so most greedy hops stay shard-local.
+
+// shardLevelCap bounds the deep-code level independently of MaxLevel:
+// CellCoord computes cell indices in uint32, so levels past 30 would
+// overflow the per-axis index for low dimensions (MaxLevel(1) = 62).
+const shardLevelCap = 30
+
+// ShardLevel returns the grid level at which deep shard codes are computed:
+// the deepest level whose per-axis cell indices still fit CellCoord's uint32
+// arithmetic. The resulting codes carry dim*ShardLevel() significant bits.
+func (s Space) ShardLevel() int {
+	if l := s.MaxLevel(); l < shardLevelCap {
+		return l
+	}
+	return shardLevelCap
+}
+
+// DeepCodes returns the Morton code of every stored point at ShardLevel,
+// together with the code bit width dim*ShardLevel. Vertices sorted by these
+// codes are sorted by Z-order, and a Prefix selects one contiguous region.
+func DeepCodes(p *Positions) (codes []uint64, bits int) {
+	space := p.Space()
+	level := space.ShardLevel()
+	codes = make([]uint64, p.Len())
+	for i := range codes {
+		codes[i] = space.Encode(p.At(i), level)
+	}
+	return codes, space.Dim() * level
+}
+
+// Prefix is a variable-length Morton-code prefix: the first Bits bits (most
+// significant first) of a deep Morton code. The zero value is the empty
+// prefix, which matches every code — a single-shard "cluster".
+type Prefix struct {
+	bits int
+	code uint64
+}
+
+// ParsePrefix parses a prefix spelled as a binary digit string ("", "0",
+// "10", ...), the form the -shard flag takes.
+func ParsePrefix(s string) (Prefix, error) {
+	if len(s) > 62 {
+		return Prefix{}, fmt.Errorf("torus: shard prefix %q longer than 62 bits", s)
+	}
+	var p Prefix
+	for _, c := range s {
+		switch c {
+		case '0':
+			p.code <<= 1
+		case '1':
+			p.code = p.code<<1 | 1
+		default:
+			return Prefix{}, fmt.Errorf("torus: shard prefix %q: want binary digits only", s)
+		}
+		p.bits++
+	}
+	return p, nil
+}
+
+// Bits returns the prefix length in bits (0 for the empty prefix).
+func (p Prefix) Bits() int { return p.bits }
+
+// String renders the prefix as the binary digit string ParsePrefix accepts
+// ("" for the empty prefix).
+func (p Prefix) String() string {
+	b := make([]byte, p.bits)
+	for i := 0; i < p.bits; i++ {
+		b[i] = '0' + byte(p.code>>uint(p.bits-1-i)&1)
+	}
+	return string(b)
+}
+
+// Matches reports whether a deep Morton code of the given bit width starts
+// with p. The prefix must not be longer than the code; callers validate the
+// pair once (see Valid) before the per-vertex loop.
+func (p Prefix) Matches(code uint64, codeBits int) bool {
+	return code>>uint(codeBits-p.bits) == p.code
+}
+
+// Valid reports whether the prefix can partition codes of the given width.
+func (p Prefix) Valid(codeBits int) error {
+	if p.bits > codeBits {
+		return fmt.Errorf("torus: shard prefix %q (%d bits) exceeds the %d-bit Morton codes of this space",
+			p.String(), p.bits, codeBits)
+	}
+	return nil
+}

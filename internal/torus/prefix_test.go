@@ -1,0 +1,148 @@
+package torus
+
+import (
+	"testing"
+)
+
+func TestParsePrefix(t *testing.T) {
+	cases := []struct {
+		in   string
+		bits int
+		code uint64
+		ok   bool
+	}{
+		{"", 0, 0, true},
+		{"0", 1, 0, true},
+		{"1", 1, 1, true},
+		{"10", 2, 2, true},
+		{"11", 2, 3, true},
+		{"0110", 4, 6, true},
+		{"2", 0, 0, false},
+		{"1x", 0, 0, false},
+	}
+	for _, c := range cases {
+		p, err := ParsePrefix(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParsePrefix(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if !c.ok {
+			continue
+		}
+		if p.Bits() != c.bits || p.code != c.code {
+			t.Errorf("ParsePrefix(%q) = {bits %d code %b}, want {bits %d code %b}",
+				c.in, p.Bits(), p.code, c.bits, c.code)
+		}
+		if got := p.String(); got != c.in {
+			t.Errorf("ParsePrefix(%q).String() = %q", c.in, got)
+		}
+	}
+	if _, err := ParsePrefix("101010101010101010101010101010101010101010101010101010101010101"); err == nil {
+		t.Error("63-bit prefix accepted")
+	}
+}
+
+// TestPrefixPartition checks that the canonical 3-shard split "0"/"10"/"11"
+// assigns every code to exactly one shard, for every supported dimension.
+func TestPrefixPartition(t *testing.T) {
+	prefixes := make([]Prefix, 3)
+	for i, s := range []string{"0", "10", "11"} {
+		var err error
+		prefixes[i], err = ParsePrefix(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for dim := 1; dim <= MaxDim; dim++ {
+		space := MustSpace(dim)
+		codes, bits := DeepCodes(randomPositions(space, 500, 42))
+		if want := dim * space.ShardLevel(); bits != want {
+			t.Fatalf("dim %d: DeepCodes bits = %d, want %d", dim, bits, want)
+		}
+		for _, p := range prefixes {
+			if err := p.Valid(bits); err != nil {
+				t.Fatalf("dim %d: %v", dim, err)
+			}
+		}
+		for i, c := range codes {
+			owners := 0
+			for _, p := range prefixes {
+				if p.Matches(c, bits) {
+					owners++
+				}
+			}
+			if owners != 1 {
+				t.Fatalf("dim %d: vertex %d code %b matched %d shards, want exactly 1", dim, i, c, owners)
+			}
+		}
+	}
+}
+
+// TestPrefixHierarchy checks the prefix property the sharding relies on: the
+// Morton code of a cell at a coarse level is a bit prefix of the deep codes
+// of all points inside it.
+func TestPrefixHierarchy(t *testing.T) {
+	space := MustSpace(2)
+	pts := randomPositions(space, 200, 7)
+	codes, bits := DeepCodes(pts)
+	for level := 1; level <= 4; level++ {
+		for i := 0; i < pts.Len(); i++ {
+			coarse := space.Encode(pts.At(i), level)
+			shift := uint(bits - space.Dim()*level)
+			if codes[i]>>shift != coarse {
+				t.Fatalf("level %d: deep code %b does not start with cell code %b", level, codes[i], coarse)
+			}
+		}
+	}
+}
+
+func TestShardLevelCap(t *testing.T) {
+	for dim := 1; dim <= MaxDim; dim++ {
+		space := MustSpace(dim)
+		l := space.ShardLevel()
+		if l > space.MaxLevel() {
+			t.Errorf("dim %d: ShardLevel %d exceeds MaxLevel %d", dim, l, space.MaxLevel())
+		}
+		if l > 30 {
+			t.Errorf("dim %d: ShardLevel %d exceeds the uint32 cell-index cap", dim, l)
+		}
+		if dim*l > 62 {
+			t.Errorf("dim %d: codes would need %d bits", dim, dim*l)
+		}
+	}
+}
+
+// TestEmptyPrefixMatchesAll pins the single-shard degenerate case.
+func TestEmptyPrefixMatchesAll(t *testing.T) {
+	var p Prefix
+	space := MustSpace(2)
+	codes, bits := DeepCodes(randomPositions(space, 100, 3))
+	for _, c := range codes {
+		if !p.Matches(c, bits) {
+			t.Fatalf("empty prefix rejected code %b", c)
+		}
+	}
+}
+
+// randomPositions fills a position store with deterministic pseudo-random
+// points (splitmix-style, no RNG dependency).
+func randomPositions(space Space, n int, seed uint64) *Positions {
+	pts := NewPositions(space, n)
+	x := seed
+	next := func() float64 {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		return float64(z>>11) * 0x1p-53
+	}
+	buf := make([]float64, space.Dim())
+	for i := 0; i < n; i++ {
+		for d := range buf {
+			buf[d] = next()
+		}
+		pts.Set(i, buf)
+	}
+	return pts
+}
