@@ -62,6 +62,15 @@ bench-cluster:
 	$(GO) test -run='^$$' -bench='RouteCluster3Shard$$' -benchmem -benchtime=2s ./internal/serve/ \
 	  | tee /dev/stderr | $(GO) run ./cmd/benchjson -out $(BENCH_CLUSTER_JSON) -key cluster-3shard
 
+# Live-overlay routing overhead: the pipeline episode batches on the plain
+# CSR base, with an empty overlay attached (must cost the same), and over a
+# churned overlay (2% joins + 2% leaves; gated at <= 1.5x ms/op in review),
+# recorded into BENCH_pr8.json.
+BENCH_OVERLAY_JSON ?= BENCH_pr8.json
+bench-overlay:
+	$(GO) test -run='^$$' -bench='PipelineGreedyEpisodes' -benchmem -benchtime=5s . \
+	  | tee /dev/stderr | $(GO) run ./cmd/benchjson -out $(BENCH_OVERLAY_JSON) -key pipeline
+
 # In-process daemon + open-loop load generator with latency/success gates:
 # the CI perf smoke. Tune the gates there, not here.
 perf-smoke:

@@ -81,6 +81,7 @@ func BenchmarkE13RefinedBound(b *testing.B)           { runExperiment(b, "E13") 
 func BenchmarkE14GeometryNecessity(b *testing.B)      { runExperiment(b, "E14") }
 func BenchmarkE15LayerStructure(b *testing.B)         { runExperiment(b, "E15") }
 func BenchmarkE16ChaosSweep(b *testing.B)             { runExperiment(b, "E16") }
+func BenchmarkE17ChurnSweep(b *testing.B)             { runExperiment(b, "E17") }
 func BenchmarkF1Trajectory(b *testing.B)              { runExperiment(b, "F1") }
 
 // End-to-end pipeline benchmarks: how fast the library generates and routes.
@@ -118,6 +119,75 @@ func BenchmarkPipelineGreedyEpisodes(b *testing.B) {
 		b.ReportMetric(rep.Success.P, "success")
 	}
 }
+
+// Overlay-path variants of the pipeline bench: the same 50-episode batches,
+// routed over a live overlay. The empty variant must cost the same as the
+// base bench — an empty overlay routes through the unchanged CSR fast
+// paths — while the churn variant (2% joins wired to 3 contacts each, 2%
+// tombstoned leaves) bounds the merged-adjacency overhead of a live graph;
+// BENCH_pr8.json (`make bench-overlay`) holds it to <= 1.5x ms/op.
+
+func overlayBenchNetwork(b *testing.B, churn bool) *core.Network {
+	b.Helper()
+	p := girg.DefaultParams(20000)
+	p.FixedN = true
+	nw, err := core.NewGIRG(p, 5, girg.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := nw.Graph
+	ov := graph.NewOverlay(g)
+	if churn {
+		rng := xrand.New(77)
+		dim := g.Space().Dim()
+		e := ov.Edit()
+		for i := 0; i < g.N()/50; i++ {
+			pos := make([]float64, dim)
+			for d := range pos {
+				pos[d] = rng.Float64()
+			}
+			id, err := e.AddVertex(pos, g.WMin()*(1+rng.Float64()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for k := 0; k < 3; k++ {
+				if u := rng.IntN(g.N()); !e.Tombstoned(u) && !e.HasEdge(id, u) {
+					if err := e.AddEdge(id, u); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		for picked := 0; picked < g.N()/50; {
+			if v := rng.IntN(g.N()); !e.Tombstoned(v) {
+				if err := e.RemoveVertex(v); err != nil {
+					b.Fatal(err)
+				}
+				picked++
+			}
+		}
+		ov = e.Finish()
+	}
+	if err := nw.SetOverlay(ov); err != nil {
+		b.Fatal(err)
+	}
+	return nw
+}
+
+func benchOverlayEpisodes(b *testing.B, churn bool) {
+	nw := overlayBenchNetwork(b, churn)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := core.RunMilgram(nw, core.MilgramConfig{Pairs: 50, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.Success.P, "success")
+	}
+}
+
+func BenchmarkPipelineGreedyEpisodesOverlayEmpty(b *testing.B) { benchOverlayEpisodes(b, false) }
+func BenchmarkPipelineGreedyEpisodesOverlayChurn(b *testing.B) { benchOverlayEpisodes(b, true) }
 
 // BenchmarkGreedyEpisode is the hot-path benchmark of the v2 routing
 // surface: one standard-φ greedy episode through route.GreedyCSR with
@@ -210,7 +280,7 @@ func TestBenchmarkExperimentIDs(t *testing.T) {
 		"E1": true, "E2": true, "E3": true, "E4": true, "E5": true,
 		"E6": true, "E7": true, "E8": true, "E9": true, "E10": true,
 		"E11": true, "E12": true, "E13": true, "E14": true, "E15": true,
-		"E16": true, "F1": true,
+		"E16": true, "E17": true, "F1": true,
 	}
 	for _, e := range expt.All() {
 		if !covered[e.ID] {

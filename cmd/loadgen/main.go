@@ -34,6 +34,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/girg"
+	"repro/internal/mutate"
 	"repro/internal/obs"
 	"repro/internal/route"
 	"repro/internal/serve"
@@ -77,11 +78,21 @@ type summary struct {
 	LocalSuccess int64   `json:"local_success"`
 	LocalRate    float64 `json:"local_success_rate"`
 	Overruns     int64   `json:"deadline_overruns"`
-	GateP99      float64 `json:"gate_max_p99_ms,omitempty"`
-	GateSucc     float64 `json:"gate_min_success,omitempty"`
-	GateLocal    float64 `json:"gate_min_local_success,omitempty"`
-	GateOverrun  float64 `json:"gate_overrun_ms,omitempty"`
-	GatesPass    bool    `json:"gates_pass"`
+	// Churn accounting: dead-ends are definitive 200 answers whose walk got
+	// stuck — under live mutations that includes walks into tombstones — and
+	// the mutation stream reports its own acceptance.
+	DeadEnds    int64   `json:"dead_ends"`
+	DeadRate    float64 `json:"dead_end_rate"`
+	MutSent     int64   `json:"mutations_sent"`
+	MutOK       int64   `json:"mutations_ok"`
+	MutRejected int64   `json:"mutations_rejected"`
+	MutErrors   int64   `json:"mutation_errors"`
+	GateP99     float64 `json:"gate_max_p99_ms,omitempty"`
+	GateSucc    float64 `json:"gate_min_success,omitempty"`
+	GateLocal   float64 `json:"gate_min_local_success,omitempty"`
+	GateOverrun float64 `json:"gate_overrun_ms,omitempty"`
+	GateDead    float64 `json:"gate_max_dead_end,omitempty"`
+	GatesPass   bool    `json:"gates_pass"`
 }
 
 // counters aggregates per-query outcomes across the generator goroutines.
@@ -89,6 +100,7 @@ type counters struct {
 	shed, success, failed      atomic.Int64
 	forwards, unreachable      atomic.Int64
 	localQueries, localSuccess atomic.Int64
+	deadEnds                   atomic.Int64
 }
 
 func run(args []string, out *os.File) (int, error) {
@@ -110,6 +122,10 @@ func run(args []string, out *os.File) (int, error) {
 		minSucc  = fs.Float64("min-success", 0, "gate: fail (exit 1) when the success rate is below this fraction (0 = off)")
 		minLocal = fs.Float64("min-local-success", 0, "gate: fail (exit 1) when the success rate over shard-local queries (no forwards, not shard-unreachable) is below this fraction (0 = off)")
 		overrun  = fs.Float64("overrun-ms", 0, "gate: count requests slower than this many ms as deadline overruns and fail (exit 1) when any occur (0 = off)")
+
+		mutRPS  = fs.Float64("mutate-rps", 0, "mutation batches per second streamed to POST /admin/mutate alongside the routing traffic (0 = off; the daemon needs -mutate-dir, or -self which journals into a temp dir)")
+		mutDim  = fs.Int("mutate-dim", 2, "torus dimension of generated add-vertex positions (must match the daemon's graph)")
+		maxDead = fs.Float64("max-dead-end", 0, "gate: fail (exit 1) when the dead-end fraction of answered queries exceeds this (0 = off); under churn, walks through tombstoned vertices dead-end by design, so the gate bounds how much")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1, err
@@ -139,14 +155,33 @@ func run(args []string, out *os.File) (int, error) {
 			Logger: slog.New(slog.NewTextHandler(os.Stderr,
 				&slog.HandlerOptions{Level: slog.LevelWarn})),
 		})
-		srv.AddNetwork(serve.DefaultGraph, &core.Network{
-			Graph: g,
-			Label: fmt.Sprintf("loadgen-self(n=%d)", g.N()),
-			NewObjective: func(t int) route.Objective {
-				return route.NewStandard(g, t)
-			},
-			StandardPhi: true,
-		})
+		if *mutRPS > 0 {
+			// The mutation stream needs a journal; a throwaway one matches the
+			// tool's lifetime.
+			dir, err := os.MkdirTemp("", "loadgen-mutate-*")
+			if err != nil {
+				return 1, err
+			}
+			defer os.RemoveAll(dir)
+			mutLog, err := mutate.Open(dir, g, mutate.Config{OnCompact: srv.InstallCompacted})
+			if err != nil {
+				return 1, err
+			}
+			defer mutLog.Close()
+			if err := srv.EnableMutation(mutLog, serve.DefaultGraph); err != nil {
+				return 1, err
+			}
+			*mutDim = g.Space().Dim()
+		} else {
+			srv.AddNetwork(serve.DefaultGraph, &core.Network{
+				Graph: g,
+				Label: fmt.Sprintf("loadgen-self(n=%d)", g.N()),
+				NewObjective: func(t int) route.Objective {
+					return route.NewStandard(g, t)
+				},
+				StandardPhi: true,
+			})
+		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return 1, err
@@ -219,6 +254,24 @@ func run(args []string, out *os.File) (int, error) {
 		wg       sync.WaitGroup
 	)
 	client := &http.Client{Timeout: *timeout + 5*time.Second}
+
+	// The mutation stream rides alongside the routing traffic: one
+	// sequential sender at its own rate against the first endpoint (the
+	// mutable daemon), generating joins, leaves and edge additions. It stops
+	// when the routing window closes.
+	var mut mutCounters
+	mutCtx, mutCancel := context.WithCancel(context.Background())
+	defer mutCancel()
+	if *mutRPS > 0 {
+		first := "http://" + strings.Split(base, ",")[0]
+		liveN, err := fetchLiveN(client, first)
+		if err != nil {
+			return 1, fmt.Errorf("mutate stream: %w", err)
+		}
+		go mutator(mutCtx, client, first+"/admin/mutate", xrand.New(*seed+2),
+			liveN, *mutDim, time.Duration(float64(time.Second) / *mutRPS), &mut)
+	}
+
 	start := time.Now()
 	for i := 0; i < ticks; i++ {
 		if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
@@ -243,6 +296,7 @@ func run(args []string, out *os.File) (int, error) {
 		}(endpoints[i], bodies[i])
 	}
 	wg.Wait()
+	mutCancel()
 	elapsed := time.Since(start)
 
 	queries := sent.Load() * int64(*batch)
@@ -265,6 +319,11 @@ func run(args []string, out *os.File) (int, error) {
 		LocalQueries: cnt.localQueries.Load(),
 		LocalSuccess: cnt.localSuccess.Load(),
 		Overruns:     overruns.Load(),
+		DeadEnds:     cnt.deadEnds.Load(),
+		MutSent:      mut.sent.Load(),
+		MutOK:        mut.ok.Load(),
+		MutRejected:  mut.rejected.Load(),
+		MutErrors:    mut.errs.Load(),
 		P50Ms:        ms(hist.Quantile(0.50)),
 		P95Ms:        ms(hist.Quantile(0.95)),
 		P99Ms:        ms(hist.Quantile(0.99)),
@@ -272,6 +331,7 @@ func run(args []string, out *os.File) (int, error) {
 		GateSucc:     *minSucc,
 		GateLocal:    *minLocal,
 		GateOverrun:  *overrun,
+		GateDead:     *maxDead,
 	}
 	if queries > 0 {
 		s.ShedRate = float64(s.Shed) / float64(queries)
@@ -282,10 +342,14 @@ func run(args []string, out *os.File) (int, error) {
 	if s.LocalQueries > 0 {
 		s.LocalRate = float64(s.LocalSuccess) / float64(s.LocalQueries)
 	}
+	if answered > 0 {
+		s.DeadRate = float64(s.DeadEnds) / float64(answered)
+	}
 	s.GatesPass = (*maxP99 <= 0 || s.P99Ms <= *maxP99) &&
 		(*minSucc <= 0 || s.SuccRate >= *minSucc) &&
 		(*minLocal <= 0 || s.LocalRate >= *minLocal) &&
-		(*overrun <= 0 || s.Overruns == 0)
+		(*overrun <= 0 || s.Overruns == 0) &&
+		(*maxDead <= 0 || s.DeadRate <= *maxDead)
 
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
@@ -293,8 +357,8 @@ func run(args []string, out *os.File) (int, error) {
 		return 1, err
 	}
 	if !s.GatesPass {
-		return 1, fmt.Errorf("gates failed: p99 %.1fms (max %.1f), success %.4f (min %.4f), local %.4f (min %.4f), overruns %d (limit %.1fms)",
-			s.P99Ms, *maxP99, s.SuccRate, *minSucc, s.LocalRate, *minLocal, s.Overruns, *overrun)
+		return 1, fmt.Errorf("gates failed: p99 %.1fms (max %.1f), success %.4f (min %.4f), local %.4f (min %.4f), overruns %d (limit %.1fms), dead-ends %.4f (max %.4f)",
+			s.P99Ms, *maxP99, s.SuccRate, *minSucc, s.LocalRate, *minLocal, s.Overruns, *overrun, s.DeadRate, *maxDead)
 	}
 	return 0, nil
 }
@@ -346,6 +410,9 @@ func scoreQuery(status int, routed bool, forwards int, failure string, c *counte
 		return
 	}
 	c.forwards.Add(int64(forwards))
+	if failure == string(route.FailDeadEnd) {
+		c.deadEnds.Add(1)
+	}
 	if failure == string(route.FailShardUnreachable) {
 		c.unreachable.Add(1)
 		return
@@ -354,6 +421,112 @@ func scoreQuery(status int, routed bool, forwards int, failure string, c *counte
 		c.localQueries.Add(1)
 		if status == http.StatusOK {
 			c.localSuccess.Add(1)
+		}
+	}
+}
+
+// mutCounters aggregates the mutation stream's outcomes.
+type mutCounters struct {
+	sent, ok, rejected, errs atomic.Int64
+}
+
+// fetchLiveN reads the live vertex count of the default graph from /readyz —
+// the id space in-batch references must stay inside. A daemon with a
+// mutation log reports it in the live section; one without is not mutable
+// and the first batch will come back 404.
+func fetchLiveN(client *http.Client, base string) (int, error) {
+	resp, err := client.Get(base + "/readyz")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("%s/readyz: status %d", base, resp.StatusCode)
+	}
+	var ready serve.ReadyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ready); err != nil {
+		return 0, err
+	}
+	g, ok := ready.Graphs[serve.DefaultGraph]
+	if !ok {
+		return 0, fmt.Errorf("%s serves no default graph", base)
+	}
+	if g.Live != nil {
+		return g.Live.Vertices, nil
+	}
+	return g.Vertices, nil
+}
+
+// mutator streams random churn batches at its own open-loop pace: joins (an
+// added vertex wired to three existing ones), leaves (a tombstoned vertex)
+// and edge additions. It tracks the live vertex count from acknowledged
+// joins, which is what keeps in-batch references to the new vertex id
+// valid; occasional 422s (an already-tombstoned leave target, a duplicate
+// edge) are counted, not fatal — they exercise the rejection path the
+// daemon promises to keep atomic.
+func mutator(ctx context.Context, client *http.Client, target string, rng *xrand.RNG,
+	liveN, dim int, interval time.Duration, c *mutCounters) {
+	start := time.Now()
+	for i := 0; ; i++ {
+		if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(d):
+			}
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		var ops []mutate.Op
+		addedVertex := false
+		switch r := rng.Float64(); {
+		case r < 0.6:
+			pos := make([]float64, dim)
+			for j := range pos {
+				pos[j] = rng.Float64()
+			}
+			ops = append(ops, mutate.Op{Op: mutate.OpAddVertex, Pos: pos, W: 1 + 2*rng.Float64()})
+			seen := map[int]bool{}
+			for len(seen) < 3 {
+				v := rng.IntN(liveN)
+				if !seen[v] {
+					seen[v] = true
+					ops = append(ops, mutate.Op{Op: mutate.OpAddEdge, U: liveN, V: v})
+				}
+			}
+			addedVertex = true
+		case r < 0.85:
+			ops = append(ops, mutate.Op{Op: mutate.OpRemoveVertex, V: rng.IntN(liveN)})
+		default:
+			u, v := rng.IntN(liveN), rng.IntN(liveN)
+			for u == v {
+				v = rng.IntN(liveN)
+			}
+			ops = append(ops, mutate.Op{Op: mutate.OpAddEdge, U: u, V: v})
+		}
+		body, err := json.Marshal(serve.MutateRequest{Ops: ops})
+		if err != nil {
+			c.errs.Add(1)
+			continue
+		}
+		c.sent.Add(1)
+		resp, err := client.Post(target, "application/json", bytes.NewReader(body))
+		if err != nil {
+			c.errs.Add(1)
+			continue
+		}
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			c.ok.Add(1)
+			if addedVertex {
+				liveN++
+			}
+		case http.StatusUnprocessableEntity:
+			c.rejected.Add(1)
+		default:
+			c.errs.Add(1)
 		}
 	}
 }

@@ -45,7 +45,7 @@ func runCtx(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("smallworld", flag.ContinueOnError)
 	var (
 		list   = fs.Bool("list", false, "list experiments and exit")
-		id     = fs.String("e", "", "experiment id (E1..E16, F1) or 'all'")
+		id     = fs.String("e", "", "experiment id (E1..E17, F1) or 'all'")
 		scale  = fs.Float64("scale", 1, "workload scale (1 = full tables of EXPERIMENTS.md)")
 		seed   = fs.Uint64("seed", 1, "random seed")
 		format = fs.String("format", "text", "output format: text | csv | json")

@@ -21,6 +21,16 @@
 //	curl -s localhost:8080/admin/swap -d '{"n": 50000, "seed": 7}'
 //	curl -s localhost:8080/admin/swap -d '{"path": "snap.girgb"}'   # checksum-verified; corrupt files get 422
 //
+// Live mutations (-mutate-dir) journal POST /admin/mutate batches through a
+// write-ahead log before acknowledging them, so a SIGKILLed daemon replays
+// to a bit-identical graph on restart with -resume; the overlay folds into
+// checksummed snapshots in the background (-compact-at):
+//
+//	smallworldd -in snap.girgb -mutate-dir /var/lib/smallworld/mut &
+//	curl -s localhost:8080/admin/mutate -d '{"ops": [{"op": "add-vertex", "pos": [0.5, 0.5], "w": 2}]}'
+//	curl -s localhost:8080/admin/mutate -d '{"ops": [{"op": "remove-vertex", "v": 17}]}'
+//	kill -9 %1 && smallworldd -in snap.girgb -mutate-dir /var/lib/smallworld/mut -resume
+//
 // Cluster mode (-shard) turns the daemon into one Morton shard of a
 // cluster: it owns the vertices whose deep Morton code starts with the
 // given binary prefix, answers shard-local greedy walks itself, and
@@ -53,6 +63,7 @@ import (
 	"repro/internal/girg"
 	"repro/internal/graph"
 	"repro/internal/graphio"
+	"repro/internal/mutate"
 	"repro/internal/obs"
 	"repro/internal/route"
 	"repro/internal/serve"
@@ -85,6 +96,10 @@ func run(args []string, ready chan<- string) error {
 		sample  = fs.Float64("trace-sample", 0, "deterministic trace sampling rate in [0, 1]: sampled requests record per-hop trajectories served on /debug/trace (0 = tracing off)")
 		traceN  = fs.Int("trace-capacity", 0, "completed traces kept for /debug/trace (0 = 64)")
 		traceO  = fs.String("trace-out", "", "write the held traces as JSONL to this file on shutdown")
+
+		mutateDir = fs.String("mutate-dir", "", "enable live mutations: journal POST /admin/mutate batches under this directory")
+		resume    = fs.Bool("resume", false, "replay an existing mutation log in -mutate-dir instead of refusing to open it")
+		compactAt = fs.Int("compact-at", 4096, "fold the overlay into a fresh snapshot once its delta reaches this many vertices (0 = never)")
 
 		shard     = fs.String("shard", "", "cluster mode: binary Morton prefix this daemon owns (e.g. 0, 10, 11; empty = single-node)")
 		peers     = fs.String("peers", "", "cluster mode: comma-separated peer addresses (host:port) to seed membership")
@@ -147,7 +162,37 @@ func run(args []string, ready chan<- string) error {
 		Logger:         logger,
 		Tracer:         tracer,
 	})
-	srv.AddNetwork(serve.DefaultGraph, nw)
+	if *mutateDir != "" {
+		if *shard != "" {
+			return fmt.Errorf("-mutate-dir and -shard are mutually exclusive (shard ownership needs an immutable base)")
+		}
+		mutLog, err := mutate.Open(*mutateDir, g, mutate.Config{
+			Resume:    *resume,
+			CompactAt: *compactAt,
+			OnCompact: srv.InstallCompacted,
+			Logger:    logger,
+		})
+		if err != nil {
+			return err
+		}
+		defer mutLog.Close()
+		// EnableMutation installs the live network itself: after a resume from
+		// a compacted log its base is the folded snapshot, not g.
+		if err := srv.EnableMutation(mutLog, serve.DefaultGraph); err != nil {
+			return err
+		}
+		st := mutLog.Stats()
+		logger.Info("mutation log open", "dir", *mutateDir,
+			"generation", st.Generation, "replayed_batches", st.Replayed,
+			"epoch", st.Overlay.Epoch,
+			"fingerprint", fmt.Sprintf("%016x", mutLog.Fingerprint()))
+		nw, _ = srv.Network(serve.DefaultGraph)
+	} else {
+		if *resume {
+			return fmt.Errorf("-resume requires -mutate-dir")
+		}
+		srv.AddNetwork(serve.DefaultGraph, nw)
+	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	ln, err := net.Listen("tcp", *addr)

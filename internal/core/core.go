@@ -26,6 +26,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ckpt"
@@ -60,6 +61,12 @@ type Network struct {
 	StandardPhi bool
 
 	giant []int // lazily computed giant component
+
+	// live is the optionally attached copy-on-write overlay (see live.go);
+	// routing loads it atomically so mutation batches publish without
+	// tearing episodes. Networks are addressed by pointer — the atomic
+	// field makes copying a Network a vet error by design.
+	live atomic.Pointer[graph.Overlay]
 }
 
 // NewGIRG samples a GIRG network routing by the standard objective phi.
@@ -131,7 +138,11 @@ func NewKleinbergContinuum(p kleinberg.ContinuumParams, seed uint64) (*Network, 
 	}, nil
 }
 
-// Giant returns the vertex ids of the largest component (cached).
+// Giant returns the vertex ids of the largest component of the base graph
+// (cached). With a live overlay attached the membership is a snapshot of
+// the base: churn can tombstone pool vertices (their episodes fail as dead
+// ends, which is the measurement E17 wants) and added vertices join the
+// pool only after a compaction folds them into the base.
 func (nw *Network) Giant() []int {
 	if nw.giant == nil {
 		nw.giant = graph.GiantComponent(nw.Graph)
@@ -147,17 +158,28 @@ func (nw *Network) Route(proto Protocol, s, t int, obs ...route.Observer) (route
 	if err != nil {
 		return route.Result{}, err
 	}
-	if s < 0 || s >= nw.Graph.N() || t < 0 || t >= nw.Graph.N() {
-		return route.Result{}, fmt.Errorf("core: vertex pair (%d, %d) out of range (n = %d)", s, t, nw.Graph.N())
+	g, obj := route.Graph(nw.Graph), route.Objective{}
+	if ov, live := nw.liveView(); live {
+		if err := nw.checkLive(false); err != nil {
+			return route.Result{}, err
+		}
+		if s < 0 || s >= ov.N() || t < 0 || t >= ov.N() {
+			return route.Result{}, fmt.Errorf("core: vertex pair (%d, %d) out of range (n = %d)", s, t, ov.N())
+		}
+		g, obj = ov, route.NewStandard(ov, t)
+	} else {
+		if s < 0 || s >= nw.Graph.N() || t < 0 || t >= nw.Graph.N() {
+			return route.Result{}, fmt.Errorf("core: vertex pair (%d, %d) out of range (n = %d)", s, t, nw.Graph.N())
+		}
+		obj = nw.NewObjective(t)
 	}
-	obj := nw.NewObjective(t)
-	res, err := runEpisode(nw.Graph, p, obj, s, 0, 0)
+	res, err := runEpisode(g, p, obj, s, 0, 0)
 	if err != nil {
 		return route.Result{}, err
 	}
 	for _, o := range obs {
 		if o != nil {
-			route.Observe(nw.Graph, obj, res, 0, o)
+			route.Observe(g, obj, res, 0, o)
 		}
 	}
 	return res, nil
@@ -375,6 +397,19 @@ func RunMilgramCtx(ctx context.Context, nw *Network, cfg MilgramConfig) (Milgram
 	if err != nil {
 		return MilgramReport{}, err
 	}
+	// Load the live overlay once per batch: every episode of this run sees
+	// the same epoch, whatever the mutation log publishes meanwhile.
+	ov, live := nw.liveView()
+	if live {
+		if err := nw.checkLive(cfg.Objective != nil); err != nil {
+			return MilgramReport{}, err
+		}
+	}
+	liveG := route.Graph(nw.Graph)
+	liveN := nw.Graph.N()
+	if live {
+		liveG, liveN = ov, ov.N()
+	}
 	pool := nw.Giant()
 	if cfg.WholeGraph {
 		pool = nil
@@ -382,7 +417,7 @@ func RunMilgramCtx(ctx context.Context, nw *Network, cfg MilgramConfig) (Milgram
 	if !cfg.WholeGraph && len(pool) < 2 {
 		return MilgramReport{}, fmt.Errorf("core: giant component too small (%d)", len(pool))
 	}
-	if cfg.WholeGraph && nw.Graph.N() < 2 {
+	if cfg.WholeGraph && liveN < 2 {
 		return MilgramReport{}, fmt.Errorf("core: graph too small")
 	}
 	engine.batches.Add(1)
@@ -393,7 +428,7 @@ func RunMilgramCtx(ctx context.Context, nw *Network, cfg MilgramConfig) (Milgram
 		if pool != nil {
 			return pool[rng.IntN(len(pool))]
 		}
-		return rng.IntN(nw.Graph.N())
+		return rng.IntN(liveN)
 	}
 	type pair struct{ s, t int }
 	pairs := make([]pair, 0, cfg.Pairs)
@@ -408,11 +443,19 @@ func RunMilgramCtx(ctx context.Context, nw *Network, cfg MilgramConfig) (Milgram
 	if cfg.Objective != nil {
 		objective = cfg.Objective
 	}
+	if live {
+		// The overlay's own geometry must drive scoring, or added vertices
+		// index past the base objective's arrays (checkLive already rejected
+		// custom overrides and non-standard networks).
+		objective = func(t int) route.Objective { return route.NewStandard(ov, t) }
+	}
 
 	// Bind the fault plan once per batch; episodes then instantiate cheap
 	// per-episode faulty views keyed by their episode index, so fault
-	// decisions are independent of worker count and scheduling.
-	bound := cfg.Faults.Bind(nw.Graph)
+	// decisions are independent of worker count and scheduling. With a live
+	// overlay the plan binds to the overlay view, so fault draws cover added
+	// vertices too.
+	bound := cfg.Faults.Bind(liveG)
 
 	// Route every pair; episodes are deterministic and independent. Each
 	// worker owns one workerState whose scratch buffers and Result are
@@ -442,10 +485,14 @@ func RunMilgramCtx(ctx context.Context, nw *Network, cfg MilgramConfig) (Milgram
 			if cfg.EpisodeTimeout > 0 {
 				b.Deadline = start.Add(cfg.EpisodeTimeout)
 			}
-			route.GreedyCSR(nw.Graph, p.t, p.s, b, &ws.sc, &ws.out)
+			if live {
+				route.GreedyCSROverlay(ov, p.t, p.s, b, &ws.sc, &ws.out)
+			} else {
+				route.GreedyCSR(nw.Graph, p.t, p.s, b, &ws.sc, &ws.out)
+			}
 			recordEpisode(ws.out, time.Since(start))
 		} else {
-			eg, eobj := route.Graph(nw.Graph), objective(p.t)
+			eg, eobj := liveG, objective(p.t)
 			if !bound.Empty() {
 				eg, eobj = bound.View(eg, eobj, i)
 			}
@@ -463,8 +510,15 @@ func RunMilgramCtx(ctx context.Context, nw *Network, cfg MilgramConfig) (Milgram
 		}
 		if res.Success && cfg.ComputeStretch {
 			// Stretch is measured against the fault-free graph: injected
-			// faults change what routing sees, not what distance means.
-			if d := graph.BFSDistance(nw.Graph, p.s, p.t); d > 0 {
+			// faults change what routing sees, not what distance means. Under
+			// a live overlay the fault-free truth is the overlay itself.
+			d := 0
+			if live {
+				d = graph.BFSDistanceOn(ov, p.s, p.t)
+			} else {
+				d = graph.BFSDistance(nw.Graph, p.s, p.t)
+			}
+			if d > 0 {
 				ep.stretch = float64(res.Moves) / float64(d)
 			}
 		}
@@ -505,7 +559,7 @@ func RunMilgramCtx(ctx context.Context, nw *Network, cfg MilgramConfig) (Milgram
 			if !episodes[i].done {
 				continue
 			}
-			route.Observe(nw.Graph, objective(p.t), route.Result{Path: episodes[i].path}, i, cfg.Observer)
+			route.Observe(liveG, objective(p.t), route.Result{Path: episodes[i].path}, i, cfg.Observer)
 		}
 	}
 

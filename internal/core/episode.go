@@ -64,10 +64,27 @@ func (nw *Network) RouteEpisodeInto(cfg EpisodeConfig, sc *route.Scratch, out *r
 	if err != nil {
 		return err
 	}
-	if cfg.S < 0 || cfg.S >= nw.Graph.N() || cfg.T < 0 || cfg.T >= nw.Graph.N() {
-		return fmt.Errorf("core: vertex pair (%d, %d) out of range (n = %d)", cfg.S, cfg.T, nw.Graph.N())
+	// One atomic load per episode: the request routes entirely over this
+	// epoch even if a mutation batch publishes mid-flight.
+	ov, live := nw.liveView()
+	if live {
+		if err := nw.checkLive(false); err != nil {
+			return err
+		}
 	}
-	bound := cfg.Faults.Bind(nw.Graph)
+	liveG := route.Graph(nw.Graph)
+	liveN := nw.Graph.N()
+	if live {
+		liveG, liveN = ov, ov.N()
+	}
+	objective := nw.NewObjective
+	if live {
+		objective = func(t int) route.Objective { return route.NewStandard(ov, t) }
+	}
+	if cfg.S < 0 || cfg.S >= liveN || cfg.T < 0 || cfg.T >= liveN {
+		return fmt.Errorf("core: vertex pair (%d, %d) out of range (n = %d)", cfg.S, cfg.T, liveN)
+	}
+	bound := cfg.Faults.Bind(liveG)
 	if !bound.Empty() && (bound.Crashed(cfg.S) || bound.Crashed(cfg.T)) {
 		*out = route.Result{Path: append(out.Path[:0], cfg.S), Unique: 1, Stuck: -1, Failure: route.FailCrashedTarget}
 		recordEpisode(*out, 0)
@@ -80,10 +97,14 @@ func (nw *Network) RouteEpisodeInto(cfg EpisodeConfig, sc *route.Scratch, out *r
 		if cfg.Timeout > 0 {
 			b.Deadline = start.Add(cfg.Timeout)
 		}
-		route.GreedyCSR(nw.Graph, cfg.T, cfg.S, b, sc, out)
+		if live {
+			route.GreedyCSROverlay(ov, cfg.T, cfg.S, b, sc, out)
+		} else {
+			route.GreedyCSR(nw.Graph, cfg.T, cfg.S, b, sc, out)
+		}
 		recordEpisode(*out, time.Since(start))
 	} else {
-		eg, eobj := route.Graph(nw.Graph), nw.NewObjective(cfg.T)
+		eg, eobj := liveG, objective(cfg.T)
 		if !bound.Empty() {
 			eg, eobj = bound.View(eg, eobj, cfg.Episode)
 		}
@@ -92,7 +113,7 @@ func (nw *Network) RouteEpisodeInto(cfg EpisodeConfig, sc *route.Scratch, out *r
 		}
 	}
 	if cfg.Observer != nil {
-		route.Observe(nw.Graph, nw.NewObjective(cfg.T), *out, cfg.Episode, cfg.Observer)
+		route.Observe(liveG, objective(cfg.T), *out, cfg.Episode, cfg.Observer)
 	}
 	return nil
 }

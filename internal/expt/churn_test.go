@@ -1,0 +1,136 @@
+package expt
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/girg"
+)
+
+// TestE17Deterministic is the churn analogue of the E16 golden check: the
+// sweep must render bit-identically on one core and on all of them, and
+// across same-seed runs, because both the churn stream (pure-hash Poisson)
+// and the routing engine are deterministic.
+func TestE17Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the churn sweep three times")
+	}
+	e, ok := ByID("E17")
+	if !ok {
+		t.Fatal("E17 not registered")
+	}
+	cfg := Config{Seed: 4, Scale: 0.02}
+	prev := runtime.GOMAXPROCS(1)
+	seq, err := e.Run(cfg)
+	runtime.GOMAXPROCS(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parl, err := e.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Format() != parl.Format() {
+		t.Fatalf("E17 table differs across worker counts:\n--- workers=1 ---\n%s--- workers=%d ---\n%s",
+			seq.Format(), runtime.GOMAXPROCS(0), parl.Format())
+	}
+	if !reflect.DeepEqual(seq.Metrics, parl.Metrics) {
+		t.Fatalf("E17 metrics differ across worker counts: %v vs %v", seq.Metrics, parl.Metrics)
+	}
+	again, err := e.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parl.Format() != again.Format() {
+		t.Fatalf("E17 table differs across same-seed runs:\n%s\nvs\n%s", parl.Format(), again.Format())
+	}
+}
+
+// TestChurnOverlayDeterministic pins the stream itself: same (graph, seed,
+// rates) must produce the same overlay fingerprint, and the realized event
+// counts must sit near their Poisson expectations.
+func TestChurnOverlayDeterministic(t *testing.T) {
+	p := girg.DefaultParams(2000)
+	p.Lambda = sparseLambda
+	p.FixedN = true
+	g, err := girg.Generate(p, 99, girg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := churnOverlay(g, 7, 0.10, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := churnOverlay(g, 7, 0.10, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("same-seed churn overlays differ: %016x vs %016x", a.Fingerprint(), b.Fingerprint())
+	}
+	st := a.Stats()
+	wantEach := 0.10 * float64(g.N())
+	if f := float64(st.AddedVertices); f < 0.5*wantEach || f > 1.5*wantEach {
+		t.Fatalf("joins %d far from Poisson expectation %.0f", st.AddedVertices, wantEach)
+	}
+	if f := float64(st.RemovedVertices); f < 0.5*wantEach || f > 1.5*wantEach {
+		t.Fatalf("leaves %d far from Poisson expectation %.0f", st.RemovedVertices, wantEach)
+	}
+	// Every joined vertex must be wired: isolated joiners would be trivially
+	// unroutable and make the "joins are free" row meaningless.
+	for v := g.N(); v < a.N(); v++ {
+		if !a.Tombstoned(v) && a.Degree(v) == 0 {
+			t.Fatalf("joined vertex %d is isolated", v)
+		}
+	}
+	if c, err := churnOverlay(g, 8, 0.10, 0.10); err != nil {
+		t.Fatal(err)
+	} else if c.Fingerprint() == a.Fingerprint() {
+		t.Fatal("different seeds produced identical churn overlays")
+	}
+}
+
+// TestPoissonHashMoments sanity-checks the pure-hash sampler: over many
+// draws the mean must track lambda (a broken inversion would bias every
+// churn rate in the sweep).
+func TestPoissonHashMoments(t *testing.T) {
+	for _, lambda := range []float64{0.5, 3, 15} {
+		sum := 0
+		const draws = 4000
+		for i := uint64(0); i < draws; i++ {
+			sum += poissonHash(lambda, 11, i, 5)
+		}
+		mean := float64(sum) / draws
+		if mean < 0.9*lambda || mean > 1.1*lambda {
+			t.Fatalf("lambda=%v: hash-Poisson mean %.3f off by >10%%", lambda, mean)
+		}
+	}
+	if poissonHash(0, 1, 1, 1) != 0 {
+		t.Fatal("lambda=0 must draw 0")
+	}
+}
+
+// TestChurnOverlayRatesScale checks the sweep's independent variable really
+// moves: higher leave rates tombstone more vertices.
+func TestChurnOverlayRatesScale(t *testing.T) {
+	p := girg.DefaultParams(1500)
+	p.FixedN = true
+	g, err := girg.Generate(p, 5, girg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var removed []int
+	for _, rate := range []float64{0.02, 0.08, 0.20} {
+		ov, err := churnOverlay(g, 3, 0, rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		removed = append(removed, ov.Stats().RemovedVertices)
+	}
+	for i := 1; i < len(removed); i++ {
+		if removed[i] <= removed[i-1] {
+			t.Fatalf("leave rates %v produced non-increasing removals %v", []float64{0.02, 0.08, 0.20}, removed)
+		}
+	}
+}

@@ -28,6 +28,43 @@ func BFS(g *Graph, source int) []int32 {
 	return dist
 }
 
+// AdjacencyView is the minimal read surface the interface-based algorithms
+// need; *Graph and *Overlay both satisfy it.
+type AdjacencyView interface {
+	N() int
+	Neighbors(v int) []int32
+}
+
+// BFSDistanceOn is BFSDistance over any adjacency view — in particular a
+// live *Overlay, so churn experiments can measure stretch against the
+// drifted graph's true distances rather than the stale base's.
+func BFSDistanceOn(g AdjacencyView, s, t int) int {
+	if s == t {
+		return 0
+	}
+	dist := make([]int32, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[s] = 0
+	queue := []int32{int32(s)}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		dv := dist[v]
+		for _, u := range g.Neighbors(int(v)) {
+			if dist[u] < 0 {
+				if int(u) == t {
+					return int(dv) + 1
+				}
+				dist[u] = dv + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return -1
+}
+
 // BFSDistance returns the hop distance between s and t, or -1 if
 // disconnected. It stops as soon as t is settled.
 func BFSDistance(g *Graph, s, t int) int {

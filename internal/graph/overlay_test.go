@@ -1,0 +1,414 @@
+package graph
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/torus"
+)
+
+// testBase builds a small deterministic geometric graph for overlay tests.
+func testBase(t *testing.T, n int) *Graph {
+	t.Helper()
+	space := torus.MustSpace(2)
+	pos := torus.NewPositions(space, n)
+	weights := make([]float64, n)
+	for v := 0; v < n; v++ {
+		pos.Set(v, []float64{tf(v, 1), tf(v, 2)})
+		weights[v] = 1 + 3*tf(v, 3)
+	}
+	b, err := NewBuilder(n, pos, weights, float64(n), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		for k := 1; k <= 3; k++ {
+			u := int(tf(v, uint64(10+k)) * float64(n))
+			if u != v && u < n {
+				b.AddEdge(v, u)
+			}
+		}
+	}
+	return b.Finish()
+}
+
+// tf is a deterministic hash → [0,1) for test data.
+func tf(v int, salt uint64) float64 {
+	x := (uint64(v)+1)*0x9e3779b97f4a7c15 ^ salt*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) * 0x1p-53
+}
+
+func TestOverlayEmptyMatchesBase(t *testing.T) {
+	g := testBase(t, 50)
+	o := NewOverlay(g)
+	if !o.Empty() || o.Epoch() != 0 {
+		t.Fatalf("fresh overlay: Empty=%v Epoch=%d", o.Empty(), o.Epoch())
+	}
+	if o.N() != g.N() || o.M() != g.M() {
+		t.Fatalf("N/M mismatch: overlay (%d, %d), base (%d, %d)", o.N(), o.M(), g.N(), g.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		if !reflect.DeepEqual(sliceOrEmpty(o.Neighbors(v)), sliceOrEmpty(g.Neighbors(v))) {
+			t.Fatalf("Neighbors(%d) mismatch", v)
+		}
+	}
+	if o.Fingerprint() != g.Fingerprint() {
+		t.Fatalf("empty overlay fingerprint %016x != base %016x", o.Fingerprint(), g.Fingerprint())
+	}
+}
+
+func sliceOrEmpty(s []int32) []int32 {
+	if len(s) == 0 {
+		return []int32{}
+	}
+	return s
+}
+
+func TestOverlayEditValidation(t *testing.T) {
+	g := testBase(t, 20)
+	o := NewOverlay(g)
+	e := o.Edit()
+	if err := e.RemoveVertex(3); err != nil {
+		t.Fatal(err)
+	}
+	u, v := existingEdge(g)
+	if err := e.RemoveEdge(u, v); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		op   func() error
+	}{
+		{"add-vertex wrong dim", func() error { _, err := e.AddVertex([]float64{0.5}, 1); return err }},
+		{"add-vertex nan pos", func() error { _, err := e.AddVertex([]float64{math.NaN(), 0}, 1); return err }},
+		{"add-vertex inf weight", func() error { _, err := e.AddVertex([]float64{0.1, 0.2}, math.Inf(1)); return err }},
+		{"add-vertex sub-wmin weight", func() error { _, err := e.AddVertex([]float64{0.1, 0.2}, 0.5); return err }},
+		{"remove-vertex out of range", func() error { return e.RemoveVertex(10_000) }},
+		{"remove-vertex negative", func() error { return e.RemoveVertex(-1) }},
+		{"remove-vertex tombstoned", func() error { return e.RemoveVertex(3) }},
+		{"add-edge self-loop", func() error { return e.AddEdge(5, 5) }},
+		{"add-edge out of range", func() error { return e.AddEdge(5, 10_000) }},
+		{"add-edge tombstoned endpoint", func() error { return e.AddEdge(5, 3) }},
+		{"add-edge duplicate", func() error {
+			a, b := existingEdge(g)
+			if a == 3 || b == 3 || (a == u && b == v) {
+				return e.AddEdge(u, v) // removed above; re-adding is legal, force the duplicate differently
+			}
+			return e.AddEdge(a, b)
+		}},
+		{"remove-edge absent", func() error { return e.RemoveEdge(u, v) }},
+		{"remove-edge tombstoned endpoint", func() error { return e.RemoveEdge(3, 4) }},
+	}
+	for _, c := range cases {
+		if c.name == "add-edge duplicate" {
+			// Find a live base edge not touching vertex 3 and not {u, v}.
+			a, b := -1, -1
+			for x := 0; x < g.N() && a < 0; x++ {
+				for _, y32 := range g.Neighbors(x) {
+					y := int(y32)
+					if x != 3 && y != 3 && !(x == u && y == v) && !(x == v && y == u) {
+						a, b = x, y
+						break
+					}
+				}
+			}
+			if a < 0 {
+				t.Fatal("no spare edge in test base")
+			}
+			if err := e.AddEdge(a, b); err == nil {
+				t.Errorf("%s: no error", c.name)
+			}
+			continue
+		}
+		if err := c.op(); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}
+
+// existingEdge returns some edge of g.
+func existingEdge(g *Graph) (int, int) {
+	for v := 0; v < g.N(); v++ {
+		if ns := g.Neighbors(v); len(ns) > 0 {
+			return v, int(ns[0])
+		}
+	}
+	panic("edgeless test graph")
+}
+
+func TestOverlayCopyOnWriteIsolation(t *testing.T) {
+	g := testBase(t, 40)
+	o0 := NewOverlay(g)
+	e := o0.Edit()
+	u, v := existingEdge(g)
+	if err := e.RemoveEdge(u, v); err != nil {
+		t.Fatal(err)
+	}
+	nv, err := e.AddVertex([]float64{0.25, 0.75}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddEdge(nv, u); err != nil {
+		t.Fatal(err)
+	}
+	o1 := e.Finish()
+
+	if o1.Epoch() != 1 {
+		t.Fatalf("epoch = %d, want 1", o1.Epoch())
+	}
+	// The parent overlay must be untouched.
+	if !o0.Empty() || o0.N() != g.N() || o0.HasEdge(u, v) != true {
+		t.Fatalf("parent overlay mutated: empty=%v n=%d hasEdge=%v", o0.Empty(), o0.N(), o0.HasEdge(u, v))
+	}
+	if o1.HasEdge(u, v) {
+		t.Fatal("removed edge still live in child")
+	}
+	if !o1.HasEdge(nv, u) || !o1.HasEdge(u, nv) {
+		t.Fatal("added edge not live in both directions")
+	}
+	// A second-generation edit must not disturb the first.
+	e2 := o1.Edit()
+	if err := e2.AddEdge(u, v); err != nil { // re-add the removed base edge
+		t.Fatal(err)
+	}
+	o2 := e2.Finish()
+	if o1.HasEdge(u, v) {
+		t.Fatal("second edit leaked into first overlay")
+	}
+	if !o2.HasEdge(u, v) {
+		t.Fatal("re-added base edge not live")
+	}
+	// Re-adding the base edge cancels the delta entirely: o2 differs from
+	// base only by the added vertex and its edge.
+	if o2.DirtyVertices() != 2 { // nv and u (the nv–u edge)
+		t.Fatalf("DirtyVertices = %d, want 2", o2.DirtyVertices())
+	}
+}
+
+func TestOverlayRemoveVertexDetaches(t *testing.T) {
+	g := testBase(t, 40)
+	o := NewOverlay(g)
+	victim, _ := existingEdge(g)
+	e := o.Edit()
+	if err := e.RemoveVertex(victim); err != nil {
+		t.Fatal(err)
+	}
+	o1 := e.Finish()
+	if !o1.Tombstoned(victim) {
+		t.Fatal("victim not tombstoned")
+	}
+	if got := o1.Neighbors(victim); len(got) != 0 {
+		t.Fatalf("tombstoned vertex has %d neighbors", len(got))
+	}
+	for v := 0; v < o1.N(); v++ {
+		for _, u := range o1.Neighbors(v) {
+			if int(u) == victim {
+				t.Fatalf("tombstoned vertex still listed in Neighbors(%d)", v)
+			}
+		}
+	}
+	// Weight and position survive for stale-reference scoring.
+	if o1.Weight(victim) != g.Weight(victim) {
+		t.Fatal("tombstoned weight lost")
+	}
+	if !reflect.DeepEqual(o1.Pos(victim), g.Pos(victim)) {
+		t.Fatal("tombstoned position lost")
+	}
+}
+
+// refGraph is a naive map-based live graph the overlay is checked against.
+type refGraph struct {
+	adj  map[int]map[int]bool
+	tomb map[int]bool
+	pos  [][]float64
+	w    []float64
+}
+
+func newRefGraph(g *Graph) *refGraph {
+	r := &refGraph{adj: map[int]map[int]bool{}, tomb: map[int]bool{}}
+	for v := 0; v < g.N(); v++ {
+		r.adj[v] = map[int]bool{}
+		for _, u := range g.Neighbors(v) {
+			r.adj[v][int(u)] = true
+		}
+		r.pos = append(r.pos, append([]float64(nil), g.Pos(v)...))
+		r.w = append(r.w, g.Weight(v))
+	}
+	return r
+}
+
+func (r *refGraph) neighbors(v int) []int32 {
+	var out []int32
+	for u := range r.adj[v] {
+		out = append(out, int32(u))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestOverlayRandomOpsMatchReference(t *testing.T) {
+	g := testBase(t, 60)
+	o := NewOverlay(g)
+	ref := newRefGraph(g)
+	n := g.N()
+	live := func() []int {
+		var ids []int
+		for v := 0; v < n; v++ {
+			if !ref.tomb[v] {
+				ids = append(ids, v)
+			}
+		}
+		return ids
+	}
+	for batch := 0; batch < 30; batch++ {
+		e := o.Edit()
+		for op := 0; op < 8; op++ {
+			r := tf(batch*100+op, 77)
+			ids := live()
+			switch {
+			case r < 0.2: // add vertex
+				pos := []float64{tf(batch*100+op, 5), tf(batch*100+op, 6)}
+				w := 1 + tf(batch*100+op, 7)
+				v, err := e.AddVertex(pos, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v != n {
+					t.Fatalf("assigned id %d, want %d", v, n)
+				}
+				ref.adj[v] = map[int]bool{}
+				ref.pos = append(ref.pos, []float64{torus.Wrap(pos[0]), torus.Wrap(pos[1])})
+				ref.w = append(ref.w, w)
+				n++
+			case r < 0.3 && len(ids) > 10: // remove vertex
+				v := ids[int(tf(batch*100+op, 8)*float64(len(ids)))]
+				if err := e.RemoveVertex(v); err != nil {
+					t.Fatal(err)
+				}
+				for u := range ref.adj[v] {
+					delete(ref.adj[u], v)
+				}
+				ref.adj[v] = map[int]bool{}
+				ref.tomb[v] = true
+			case r < 0.65 && len(ids) >= 2: // add edge
+				u := ids[int(tf(batch*100+op, 9)*float64(len(ids)))]
+				v := ids[int(tf(batch*100+op, 10)*float64(len(ids)))]
+				if u == v || ref.adj[u][v] {
+					continue
+				}
+				if err := e.AddEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+				ref.adj[u][v] = true
+				ref.adj[v][u] = true
+			default: // remove edge
+				var eu, ev = -1, -1
+				for _, u := range ids {
+					for v := range ref.adj[u] {
+						eu, ev = u, v
+						break
+					}
+					if eu >= 0 {
+						break
+					}
+				}
+				if eu < 0 {
+					continue
+				}
+				if err := e.RemoveEdge(eu, ev); err != nil {
+					t.Fatal(err)
+				}
+				delete(ref.adj[eu], ev)
+				delete(ref.adj[ev], eu)
+			}
+		}
+		o = e.Finish()
+	}
+
+	if o.N() != n {
+		t.Fatalf("N = %d, want %d", o.N(), n)
+	}
+	edges := 0
+	for v := 0; v < n; v++ {
+		want := ref.neighbors(v)
+		got := o.Neighbors(v)
+		if !reflect.DeepEqual(sliceOrEmpty(got), sliceOrEmpty(want)) {
+			t.Fatalf("Neighbors(%d): got %v want %v", v, got, want)
+		}
+		if o.Degree(v) != len(want) {
+			t.Fatalf("Degree(%d) = %d, want %d", v, o.Degree(v), len(want))
+		}
+		if o.Weight(v) != ref.w[v] {
+			t.Fatalf("Weight(%d) mismatch", v)
+		}
+		if !reflect.DeepEqual(append([]float64(nil), o.Pos(v)...), ref.pos[v]) {
+			t.Fatalf("Pos(%d) mismatch", v)
+		}
+		if o.Tombstoned(v) != ref.tomb[v] {
+			t.Fatalf("Tombstoned(%d) mismatch", v)
+		}
+		edges += len(want)
+	}
+	if o.M() != edges/2 {
+		t.Fatalf("M = %d, want %d", o.M(), edges/2)
+	}
+
+	// Materialize must agree vertex by vertex, and fingerprints must match.
+	mg, err := o.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mg.N() != o.N() || mg.M() != o.M() {
+		t.Fatalf("materialized (n=%d, m=%d) vs overlay (n=%d, m=%d)", mg.N(), mg.M(), o.N(), o.M())
+	}
+	for v := 0; v < n; v++ {
+		if !reflect.DeepEqual(sliceOrEmpty(mg.Neighbors(v)), sliceOrEmpty(o.Neighbors(v))) {
+			t.Fatalf("materialized Neighbors(%d) mismatch", v)
+		}
+		if mg.Weight(v) != o.Weight(v) {
+			t.Fatalf("materialized Weight(%d) mismatch", v)
+		}
+	}
+	if mg.Fingerprint() != o.Fingerprint() {
+		t.Fatalf("materialized fingerprint %016x != overlay %016x", mg.Fingerprint(), o.Fingerprint())
+	}
+	// Folding the delta into a new base and re-overlaying empties the delta
+	// without changing the live fingerprint — the compaction invariant.
+	o2 := NewOverlay(mg)
+	if o2.Fingerprint() != o.Fingerprint() {
+		t.Fatal("compaction changed the live fingerprint")
+	}
+}
+
+func TestOverlayFingerprintCanonical(t *testing.T) {
+	g := testBase(t, 30)
+	u, v := existingEdge(g)
+
+	// Same final state via different op orders → same fingerprint.
+	e1 := NewOverlay(g).Edit()
+	if err := e1.RemoveEdge(u, v); err != nil {
+		t.Fatal(err)
+	}
+	o1 := e1.Finish()
+	e2 := o1.Edit()
+	if err := e2.AddEdge(u, v); err != nil {
+		t.Fatal(err)
+	}
+	o2 := e2.Finish()
+	if o2.Fingerprint() != g.Fingerprint() {
+		t.Fatal("remove+re-add did not cancel to the base fingerprint")
+	}
+	if !o2.Empty() {
+		t.Fatal("remove+re-add left a delta entry (canonical form violated)")
+	}
+	if o2.Epoch() != 2 {
+		t.Fatalf("epoch = %d, want 2 (epochs count batches, not delta size)", o2.Epoch())
+	}
+}

@@ -1,0 +1,119 @@
+package mutate
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// corpusBatch is the deterministic batch every fuzz seed derives from: one
+// of each op kind, so the mutator starts inside every decoder arm.
+func corpusBatch() []Op {
+	return []Op{
+		{Op: OpAddVertex, Pos: []float64{0.25, 0.75}, W: 1.5},
+		{Op: OpAddEdge, U: 5, V: 0},
+		{Op: OpRemoveEdge, U: 1, V: 2},
+		{Op: OpRemoveVertex, V: 3},
+	}
+}
+
+// FuzzMutationLog is the journal decoder's robustness contract, the mirror
+// of graphio's FuzzRead: arbitrary bytes through DecodeBatch must either
+// decode — in which case re-encoding is byte-identical (the canonical-form
+// property replay determinism rests on) — or fail as a classified
+// *CorruptError. Never a panic, never an allocation proportional to a lying
+// op count.
+//
+// Regenerate the seed corpus under testdata/fuzz/FuzzMutationLog with:
+//
+//	go run ./internal/mutate/gen_corpus.go
+func FuzzMutationLog(f *testing.F) {
+	valid, err := EncodeBatch(corpusBatch())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	flip := bytes.Clone(valid)
+	flip[len(flip)/2] ^= 0x40
+	f.Add(flip)
+	f.Add([]byte{})
+	f.Add([]byte{1, 0xff, 0xff, 0xff, 0xff}) // huge op count, no payload
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops, err := DecodeBatch(data)
+		if err != nil {
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("decode error is not a *CorruptError: %v", err)
+			}
+			return
+		}
+		re, err := EncodeBatch(ops)
+		if err != nil {
+			t.Fatalf("decoded batch does not re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not canonical:\n in: %x\nout: %x", data, re)
+		}
+	})
+}
+
+// TestFuzzCorpusCommitted pins the seed corpus: every committed seed must
+// run clean through the fuzz property, and the corpus must cover at least
+// the valid/truncated/bit-flipped triple so a regenerated corpus can't
+// silently shrink.
+func TestFuzzCorpusCommitted(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzMutationLog")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("seed corpus missing: %v", err)
+	}
+	if len(entries) < 5 {
+		t.Fatalf("seed corpus has %d entries, want >= 5", len(entries))
+	}
+	for _, ent := range entries {
+		raw, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, ok := decodeCorpusFile(raw)
+		if !ok {
+			t.Fatalf("%s: not a go-fuzz v1 corpus file", ent.Name())
+		}
+		ops, err := DecodeBatch(data)
+		if err != nil {
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Errorf("%s: unclassified decode error: %v", ent.Name(), err)
+			}
+			continue
+		}
+		re, err := EncodeBatch(ops)
+		if err != nil || !bytes.Equal(re, data) {
+			t.Errorf("%s: valid seed does not round-trip (%v)", ent.Name(), err)
+		}
+	}
+}
+
+// decodeCorpusFile extracts the []byte literal from a "go test fuzz v1"
+// corpus file.
+func decodeCorpusFile(raw []byte) ([]byte, bool) {
+	lines := bytes.SplitN(raw, []byte("\n"), 3)
+	if len(lines) < 2 || string(lines[0]) != "go test fuzz v1" {
+		return nil, false
+	}
+	body := string(lines[1])
+	const pre, post = "[]byte(", ")"
+	if len(body) < len(pre)+len(post) || body[:len(pre)] != pre || body[len(body)-1:] != post {
+		return nil, false
+	}
+	s, err := strconv.Unquote(body[len(pre) : len(body)-1])
+	if err != nil {
+		return nil, false
+	}
+	return []byte(s), true
+}

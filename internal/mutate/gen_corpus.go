@@ -1,0 +1,63 @@
+//go:build ignore
+
+// gen_corpus regenerates the committed FuzzMutationLog seed corpus under
+// internal/mutate/testdata/fuzz/FuzzMutationLog: a valid mutation batch
+// covering every op kind plus truncated, bit-flipped, trailing-byte and
+// lying-header variants, in the "go test fuzz v1" corpus-file encoding.
+// Run from the repo root:
+//
+//	go run ./internal/mutate/gen_corpus.go
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/mutate"
+)
+
+func main() {
+	valid, err := mutate.EncodeBatch([]mutate.Op{
+		{Op: mutate.OpAddVertex, Pos: []float64{0.25, 0.75}, W: 1.5},
+		{Op: mutate.OpAddEdge, U: 5, V: 0},
+		{Op: mutate.OpRemoveEdge, U: 1, V: 2},
+		{Op: mutate.OpRemoveVertex, V: 3},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	single, err := mutate.EncodeBatch([]mutate.Op{{Op: mutate.OpAddEdge, U: 7, V: 11}})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	flip := bytes.Clone(valid)
+	flip[len(flip)/2] ^= 0x40
+	seeds := map[string][]byte{
+		"valid-batch":  valid,
+		"valid-single": single,
+		"truncated":    valid[:len(valid)/2],
+		"bitflip":      flip,
+		"trailing":     append(bytes.Clone(valid), 0xaa),
+		"empty":        {},
+		"huge-count":   {1, 0xff, 0xff, 0xff, 0xff},
+		"bad-version":  append([]byte{9}, valid[1:]...),
+		"bad-kind":     {1, 1, 0, 0, 0, 99, 0, 0, 0, 0},
+	}
+
+	dir := filepath.Join("internal", "mutate", "testdata", "fuzz", "FuzzMutationLog")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for name, data := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data)))
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("wrote %d seeds to %s\n", len(seeds), dir)
+}

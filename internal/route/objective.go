@@ -17,7 +17,7 @@ package route
 import (
 	"math"
 
-	"repro/internal/graph"
+	"repro/internal/torus"
 )
 
 // Objective assigns each vertex a score toward a fixed target; the target
@@ -32,9 +32,22 @@ type Objective struct {
 	Score func(v int) float64
 }
 
+// GeoGraph is the geometric read surface the objective constructors need:
+// adjacency plus positions, weights and the model normalization constants.
+// Both the immutable *graph.Graph and the live *graph.Overlay satisfy it,
+// so one objective implementation scores frozen snapshots and mutating
+// graphs identically.
+type GeoGraph interface {
+	Graph
+	Pos(v int) []float64
+	Space() torus.Space
+	Intensity() float64
+	WMin() float64
+}
+
 // NewStandard returns the paper's objective phi for target t on g, with
 // per-vertex caching (patching protocols re-score vertices many times).
-func NewStandard(g *graph.Graph, t int) Objective {
+func NewStandard(g GeoGraph, t int) Objective {
 	space := g.Space()
 	xt := g.Pos(t)
 	norm := 1 / (g.WMin() * g.Intensity())
@@ -55,7 +68,7 @@ func NewStandard(g *graph.Graph, t int) Objective {
 
 // NewGeometric returns the degree-agnostic objective 1/||x_v - x_t||: pure
 // geometric routing as studied by Boguñá–Krioukov (Section 4 discussion).
-func NewGeometric(g *graph.Graph, t int) Objective {
+func NewGeometric(g GeoGraph, t int) Objective {
 	space := g.Space()
 	xt := g.Pos(t)
 	score := func(v int) float64 {
@@ -73,7 +86,7 @@ func NewGeometric(g *graph.Graph, t int) Objective {
 // from [-eps, +eps] (deterministically from seed). With eps -> 0 this is
 // the o(1)-exponent relaxation the theorem allows; larger eps stress-tests
 // beyond it. The target remains the unique maximum.
-func NewRelaxed(inner Objective, g *graph.Graph, eps float64, seed uint64) Objective {
+func NewRelaxed(inner Objective, g GeoGraph, eps float64, seed uint64) Objective {
 	cache := newScoreCache(g.N())
 	score := func(v int) float64 {
 		if v == inner.Target {
@@ -142,7 +155,7 @@ func better(scoreA, scoreB float64, a, b int) bool {
 
 // BestNeighbor returns v's neighbor with the maximal objective, or -1 if v
 // is isolated.
-func BestNeighbor(g *graph.Graph, obj Objective, v int) int {
+func BestNeighbor(g Graph, obj Objective, v int) int {
 	best := -1
 	bestScore := math.Inf(-1)
 	for _, u32 := range g.Neighbors(v) {

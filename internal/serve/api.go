@@ -5,6 +5,8 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/faults"
+	"repro/internal/graph"
+	"repro/internal/mutate"
 	"repro/internal/route"
 )
 
@@ -189,6 +191,27 @@ type ReadyGraph struct {
 	Vertices    int    `json:"vertices"`
 	Edges       int    `json:"edges"`
 	Label       string `json:"label"`
+	// Live describes the mutation overlay when this slot is driven by a
+	// mutation log (-mutate-dir); nil on immutable snapshots.
+	Live *ReadyLive `json:"live,omitempty"`
+}
+
+// ReadyLive is the live-overlay section of a ReadyGraph: what the graph
+// looks like after the journaled mutations, against the base snapshot the
+// Fingerprint field above describes.
+type ReadyLive struct {
+	// Fingerprint is the structural hash of the live graph — base plus
+	// overlay — the value a crash-replayed daemon must reproduce bit for
+	// bit (the churn-crash CI job asserts exactly this field).
+	Fingerprint string `json:"fingerprint"`
+	// Vertices and Edges count the live graph (tombstoned ids stay in the
+	// vertex count; their adjacency reads empty).
+	Vertices int `json:"vertices"`
+	Edges    int `json:"edges"`
+	// Generation is the journal generation (1 until the first compaction).
+	Generation int `json:"generation"`
+	// OverlayStats carries epoch and delta counts, flattened.
+	graph.OverlayStats
 }
 
 // ReadyCluster describes the daemon's shard and membership view on
@@ -252,6 +275,43 @@ type SwapResponse struct {
 	// the same value girgen logs: operators can check what a swap
 	// installed without re-reading the file.
 	Fingerprint string `json:"fingerprint"`
+	// NoOp reports that the loaded snapshot's fingerprint matched the graph
+	// already installed under this name, so nothing was swapped — retried
+	// swap scripts are idempotent instead of churning the graph map.
+	NoOp bool `json:"noop,omitempty"`
+}
+
+// MutateRequest is the body of POST /admin/mutate: one batch of graph
+// mutations applied atomically to the daemon's mutable graph slot. The
+// batch is validated against the live overlay, journaled (fsynced) and only
+// then acknowledged and published — all-or-nothing: the first invalid op
+// rejects the whole batch with 422 and the live graph is untouched.
+type MutateRequest struct {
+	// Graph names the slot to mutate; "" selects "default". Only the slot
+	// the mutation log was enabled on is mutable.
+	Graph string `json:"graph,omitempty"`
+	// Ops is the batch, applied in order. Add-vertex ops are assigned the
+	// next live vertex ids; later ops in the same batch may reference them.
+	Ops []mutate.Op `json:"ops"`
+}
+
+// MutateResponse reports a committed mutation batch. By the time a client
+// reads it, the batch is in the fsynced journal: a daemon SIGKILLed
+// afterwards replays it on restart.
+type MutateResponse struct {
+	Graph string `json:"graph"`
+	// Generation and Seq locate the batch's journal record.
+	Generation int `json:"generation"`
+	Seq        int `json:"seq"`
+	// Epoch is the overlay epoch this batch published; /readyz reports the
+	// same value once the batch is visible to routing.
+	Epoch uint64 `json:"epoch"`
+	// Assigned lists the vertex ids the batch's add-vertex ops created, in
+	// op order — clients address the new vertices with these.
+	Assigned []int `json:"assigned,omitempty"`
+	// ElapsedMs is the server-side wall time (validation + journal fsync +
+	// publish).
+	ElapsedMs float64 `json:"elapsed_ms"`
 }
 
 // StatusFor maps a routing outcome to its HTTP status. Definitive protocol

@@ -236,8 +236,8 @@ func validateItem(nw *core.Network, protoName string, s, t int, specs []faults.S
 	if _, err := core.Lookup(protoName); err != nil {
 		return http.StatusNotFound, err.Error()
 	}
-	if s < 0 || s >= nw.Graph.N() || t < 0 || t >= nw.Graph.N() {
-		return http.StatusBadRequest, fmt.Sprintf("vertex pair (%d, %d) out of range (n = %d)", s, t, nw.Graph.N())
+	if n := nw.LiveN(); s < 0 || s >= n || t < 0 || t >= n {
+		return http.StatusBadRequest, fmt.Sprintf("vertex pair (%d, %d) out of range (n = %d)", s, t, n)
 	}
 	if _, err := faults.NewPlan(0, specs...); err != nil {
 		return http.StatusBadRequest, err.Error()

@@ -24,6 +24,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p := obs.NewPromWriter(w)
 	obs.WriteEngineMetrics(p, core.Stats())
 	s.writeServeMetrics(p)
+	s.writeMutateMetrics(p)
 	if s.clusterNode != nil {
 		s.writeClusterMetrics(p)
 	}
@@ -70,6 +71,12 @@ func (s *Server) writeServeMetrics(p *obs.PromWriter) {
 	p.SampleInt("smallworld_serve_swaps_total", nil, s.swaps.Load())
 	p.Family("smallworld_serve_quarantined_total", "counter", "Swap snapshots rejected by checksum/format verification.")
 	p.SampleInt("smallworld_serve_quarantined_total", nil, s.quarantined.Load())
+	p.Family("smallworld_serve_swap_noops_total", "counter", "Path swaps skipped: fingerprint already installed.")
+	p.SampleInt("smallworld_serve_swap_noops_total", nil, s.swapNoops.Load())
+	p.Family("smallworld_serve_mutations_total", "counter", "Mutation batches committed via /admin/mutate.")
+	p.SampleInt("smallworld_serve_mutations_total", nil, s.mutations.Load())
+	p.Family("smallworld_serve_compact_swaps_total", "counter", "Compacted snapshots hot-swapped into the mutable slot.")
+	p.SampleInt("smallworld_serve_compact_swaps_total", nil, s.compactSwaps.Load())
 
 	// Breakers are labelled by their (graph, protocol) pair; keys are
 	// sorted so consecutive scrapes diff cleanly.

@@ -46,6 +46,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/girg"
 	"repro/internal/graphio"
+	"repro/internal/mutate"
 	"repro/internal/obs"
 	"repro/internal/route"
 )
@@ -161,6 +162,18 @@ type Server struct {
 	// verification — a nonzero value means something is corrupting files on
 	// the path into the daemon.
 	quarantined atomic.Int64
+	// swapNoops counts /admin/swap path loads whose fingerprint matched the
+	// installed graph — answered 200 without touching the graph map.
+	swapNoops atomic.Int64
+
+	// Mutation mode (nil mutLog = immutable snapshots only). The log owns
+	// durability; mutGraph names the single mutable slot. mutations counts
+	// committed batches, compactSwaps the compacted snapshots hot-swapped in.
+	mutMu        sync.Mutex
+	mutLog       *mutate.Log
+	mutGraph     string
+	mutations    atomic.Int64
+	compactSwaps atomic.Int64
 }
 
 // DefaultGraph is the graph name "" resolves to.
@@ -309,6 +322,7 @@ func (s *Server) Drain(ctx context.Context) error {
 //	GET  /debug/trace  sampled routing traces as JSONL (404 untraced)
 //	GET  /debug/pprof  net/http/pprof profiles (heap, goroutine, cpu, ...)
 //	POST /admin/swap   generate + atomically install a graph snapshot
+//	POST /admin/mutate apply a journaled mutation batch to the live graph
 //
 // Every response carries an X-Request-ID header; the same id labels every
 // slog line of the request (admission, retries, breaker trips, episodes).
@@ -330,6 +344,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/admin/swap", s.handleSwap)
+	mux.HandleFunc("/admin/mutate", s.handleMutate)
 	mux.HandleFunc("/cluster/hop", s.handleClusterHop)
 	mux.HandleFunc("/cluster/gossip", s.handleClusterGossip)
 	return s.withRequestID(mux)
@@ -395,6 +410,7 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 				Vertices:    nw.Graph.N(),
 				Edges:       nw.Graph.M(),
 				Label:       nw.Label,
+				Live:        s.readyLive(name, nw),
 			}
 		}
 		if node := s.clusterNode; node != nil {
@@ -471,9 +487,9 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, 0, "%v", err)
 		return
 	}
-	if req.S < 0 || req.S >= nw.Graph.N() || req.T < 0 || req.T >= nw.Graph.N() {
+	if n := nw.LiveN(); req.S < 0 || req.S >= n || req.T < 0 || req.T >= n {
 		writeError(w, http.StatusBadRequest, 0, "vertex pair (%d, %d) out of range (n = %d)",
-			req.S, req.T, nw.Graph.N())
+			req.S, req.T, n)
 		return
 	}
 	// Validate the fault specs before spending a worker slot on them.
@@ -529,6 +545,16 @@ func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, 0, "bad request body: %v", err)
 		return
 	}
+	name := req.Graph
+	if name == "" {
+		name = DefaultGraph
+	}
+	// The mutable slot is owned by the mutation log: installing an unrelated
+	// snapshot under it would strand journaled mutations.
+	if log, mutGraph := s.MutationLog(); log != nil && name == mutGraph {
+		writeError(w, http.StatusConflict, 0, "graph %q is driven by the mutation log; swap a different slot", name)
+		return
+	}
 	var nw *core.Network
 	if req.Path != "" {
 		g, err := graphio.ReadFile(req.Path)
@@ -541,6 +567,23 @@ func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			writeError(w, http.StatusBadRequest, 0, "load: %v", err)
+			return
+		}
+		// Idempotent path swaps: a snapshot structurally identical to what
+		// this slot already serves is acknowledged without touching the graph
+		// map, so a retried deploy script cannot churn breakers or labels.
+		if cur, ok := s.Network(name); ok && cur.Graph.Fingerprint() == g.Fingerprint() {
+			s.swapNoops.Add(1)
+			logger.Info("swap no-op: fingerprint already installed", "graph", name,
+				"path", req.Path, "fingerprint", fmt.Sprintf("%016x", g.Fingerprint()))
+			writeJSON(w, http.StatusOK, SwapResponse{
+				Graph:       name,
+				Label:       cur.Label,
+				Vertices:    cur.Graph.N(),
+				Edges:       cur.Graph.M(),
+				Fingerprint: fmt.Sprintf("%016x", cur.Graph.Fingerprint()),
+				NoOp:        true,
+			})
 			return
 		}
 		nw = &core.Network{
@@ -575,10 +618,6 @@ func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	name := req.Graph
-	if name == "" {
-		name = DefaultGraph
-	}
 	s.AddNetwork(name, nw)
 	s.swaps.Add(1)
 	logger.Info("graph swapped", "graph", name, "label", nw.Label,
@@ -608,9 +647,17 @@ type ServeStats struct {
 	// Retries counts transient-failure retry attempts across all requests.
 	Retries int64
 	// Swaps counts installed snapshots via /admin/swap; Quarantined counts
-	// swap files rejected by checksum/format verification.
+	// swap files rejected by checksum/format verification; SwapNoops counts
+	// path swaps skipped because the fingerprint was already installed.
 	Swaps       int64
 	Quarantined int64
+	SwapNoops   int64
+	// Mutations counts batches committed via /admin/mutate; CompactSwaps
+	// counts compacted snapshots hot-swapped into the mutable slot. Mutate
+	// snapshots the mutation log itself (nil without -mutate-dir).
+	Mutations    int64
+	CompactSwaps int64
+	Mutate       *mutate.Stats `json:",omitempty"`
 	// Breakers maps "graph/protocol" to breaker state ("closed", "open",
 	// "half-open") with the cumulative open count in parentheses.
 	Breakers map[string]string
@@ -622,16 +669,23 @@ type ServeStats struct {
 // Stats snapshots the server's serving-layer state.
 func (s *Server) Stats() ServeStats {
 	st := ServeStats{
-		Draining:    s.draining.Load(),
-		Graphs:      s.GraphNames(),
-		InFlight:    s.pool.InFlight(),
-		Waiting:     s.pool.Waiting(),
-		Shed:        s.pool.Shed(),
-		Admitted:    s.pool.Acquired(),
-		Retries:     s.retries.Load(),
-		Swaps:       s.swaps.Load(),
-		Quarantined: s.quarantined.Load(),
-		Breakers:    map[string]string{},
+		Draining:     s.draining.Load(),
+		Graphs:       s.GraphNames(),
+		InFlight:     s.pool.InFlight(),
+		Waiting:      s.pool.Waiting(),
+		Shed:         s.pool.Shed(),
+		Admitted:     s.pool.Acquired(),
+		Retries:      s.retries.Load(),
+		Swaps:        s.swaps.Load(),
+		Quarantined:  s.quarantined.Load(),
+		SwapNoops:    s.swapNoops.Load(),
+		Mutations:    s.mutations.Load(),
+		CompactSwaps: s.compactSwaps.Load(),
+		Breakers:     map[string]string{},
+	}
+	if log, _ := s.MutationLog(); log != nil {
+		ms := log.Stats()
+		st.Mutate = &ms
 	}
 	s.breakerMu.Lock()
 	for key, b := range s.breakers {
