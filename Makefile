@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check vuln build test race vet cover bench bench-full bench-routing bench-cluster perf-smoke experiments examples clean
+.PHONY: all check vuln build test race vet cover bench bench-full bench-routing bench-cluster bench-replication perf-smoke experiments examples clean
 
 all: check
 
@@ -61,6 +61,18 @@ bench-cluster:
 	  | tee /dev/stderr | $(GO) run ./cmd/benchjson -out $(BENCH_CLUSTER_JSON) -key single-node
 	$(GO) test -run='^$$' -bench='RouteCluster3Shard$$' -benchmem -benchtime=2s ./internal/serve/ \
 	  | tee /dev/stderr | $(GO) run ./cmd/benchjson -out $(BENCH_CLUSTER_JSON) -key cluster-3shard
+
+# Replication forwarding overhead: the 3-shard loopback cluster with every
+# shard served by two replicas (failover-ordered owner resolution, hedging
+# armed but never firing), against the single-replica cluster baseline —
+# gated at <= 1.25x the single-replica ms/op in review, recorded into
+# BENCH_pr9.json.
+BENCH_REPLICATION_JSON ?= BENCH_pr9.json
+bench-replication:
+	$(GO) test -run='^$$' -bench='RouteCluster3Shard$$' -benchmem -benchtime=2s ./internal/serve/ \
+	  | tee /dev/stderr | $(GO) run ./cmd/benchjson -out $(BENCH_REPLICATION_JSON) -key cluster-3shard
+	$(GO) test -run='^$$' -bench='RouteCluster3Shard2Replica$$' -benchmem -benchtime=2s ./internal/serve/ \
+	  | tee /dev/stderr | $(GO) run ./cmd/benchjson -out $(BENCH_REPLICATION_JSON) -key cluster-3shard-2replica
 
 # Live-overlay routing overhead: the pipeline episode batches on the plain
 # CSR base, with an empty overlay attached (must cost the same), and over a

@@ -77,7 +77,14 @@ type summary struct {
 	LocalQueries int64   `json:"local_queries"`
 	LocalSuccess int64   `json:"local_success"`
 	LocalRate    float64 `json:"local_success_rate"`
-	Overruns     int64   `json:"deadline_overruns"`
+	// Replication accounting: hedges are second forward attempts fired after
+	// the hedge delay, failovers are forwards answered by a replica other
+	// than the first choice. The hedge rate is hedges per forward — the
+	// fraction of cross-shard hops that needed a second attempt.
+	Hedges    int64   `json:"hedges"`
+	Failovers int64   `json:"failovers"`
+	HedgeRate float64 `json:"hedge_rate"`
+	Overruns  int64   `json:"deadline_overruns"`
 	// Churn accounting: dead-ends are definitive 200 answers whose walk got
 	// stuck — under live mutations that includes walks into tombstones — and
 	// the mutation stream reports its own acceptance.
@@ -92,6 +99,7 @@ type summary struct {
 	GateLocal   float64 `json:"gate_min_local_success,omitempty"`
 	GateOverrun float64 `json:"gate_overrun_ms,omitempty"`
 	GateDead    float64 `json:"gate_max_dead_end,omitempty"`
+	GateHedge   float64 `json:"gate_max_hedge_rate,omitempty"`
 	GatesPass   bool    `json:"gates_pass"`
 }
 
@@ -101,6 +109,7 @@ type counters struct {
 	forwards, unreachable      atomic.Int64
 	localQueries, localSuccess atomic.Int64
 	deadEnds                   atomic.Int64
+	hedges, failovers          atomic.Int64
 }
 
 func run(args []string, out *os.File) (int, error) {
@@ -123,9 +132,11 @@ func run(args []string, out *os.File) (int, error) {
 		minLocal = fs.Float64("min-local-success", 0, "gate: fail (exit 1) when the success rate over shard-local queries (no forwards, not shard-unreachable) is below this fraction (0 = off)")
 		overrun  = fs.Float64("overrun-ms", 0, "gate: count requests slower than this many ms as deadline overruns and fail (exit 1) when any occur (0 = off)")
 
-		mutRPS  = fs.Float64("mutate-rps", 0, "mutation batches per second streamed to POST /admin/mutate alongside the routing traffic (0 = off; the daemon needs -mutate-dir, or -self which journals into a temp dir)")
-		mutDim  = fs.Int("mutate-dim", 2, "torus dimension of generated add-vertex positions (must match the daemon's graph)")
-		maxDead = fs.Float64("max-dead-end", 0, "gate: fail (exit 1) when the dead-end fraction of answered queries exceeds this (0 = off); under churn, walks through tombstoned vertices dead-end by design, so the gate bounds how much")
+		mutRPS   = fs.Float64("mutate-rps", 0, "mutation batches per second streamed to POST /admin/mutate alongside the routing traffic (0 = off; the daemon needs -mutate-dir, or -self which journals into a temp dir)")
+		mutDim   = fs.Int("mutate-dim", 2, "torus dimension of generated add-vertex positions (must match the daemon's graph)")
+		mutSlot  = fs.String("mutate-graph", "", "graph slot the mutation stream targets (empty = \"default\"; replicated clusters drive \"live\")")
+		maxDead  = fs.Float64("max-dead-end", 0, "gate: fail (exit 1) when the dead-end fraction of answered queries exceeds this (0 = off); under churn, walks through tombstoned vertices dead-end by design, so the gate bounds how much")
+		maxHedge = fs.Float64("max-hedge-rate", 0, "gate: fail (exit 1) when hedged second attempts per forward exceed this fraction (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1, err
@@ -264,11 +275,11 @@ func run(args []string, out *os.File) (int, error) {
 	defer mutCancel()
 	if *mutRPS > 0 {
 		first := "http://" + strings.Split(base, ",")[0]
-		liveN, err := fetchLiveN(client, first)
+		liveN, err := fetchLiveN(client, first, *mutSlot)
 		if err != nil {
 			return 1, fmt.Errorf("mutate stream: %w", err)
 		}
-		go mutator(mutCtx, client, first+"/admin/mutate", xrand.New(*seed+2),
+		go mutator(mutCtx, client, first+"/admin/mutate", *mutSlot, xrand.New(*seed+2),
 			liveN, *mutDim, time.Duration(float64(time.Second) / *mutRPS), &mut)
 	}
 
@@ -318,6 +329,8 @@ func run(args []string, out *os.File) (int, error) {
 		Unreachable:  cnt.unreachable.Load(),
 		LocalQueries: cnt.localQueries.Load(),
 		LocalSuccess: cnt.localSuccess.Load(),
+		Hedges:       cnt.hedges.Load(),
+		Failovers:    cnt.failovers.Load(),
 		Overruns:     overruns.Load(),
 		DeadEnds:     cnt.deadEnds.Load(),
 		MutSent:      mut.sent.Load(),
@@ -332,6 +345,7 @@ func run(args []string, out *os.File) (int, error) {
 		GateLocal:    *minLocal,
 		GateOverrun:  *overrun,
 		GateDead:     *maxDead,
+		GateHedge:    *maxHedge,
 	}
 	if queries > 0 {
 		s.ShedRate = float64(s.Shed) / float64(queries)
@@ -345,11 +359,15 @@ func run(args []string, out *os.File) (int, error) {
 	if answered > 0 {
 		s.DeadRate = float64(s.DeadEnds) / float64(answered)
 	}
+	if s.Forwards > 0 {
+		s.HedgeRate = float64(s.Hedges) / float64(s.Forwards)
+	}
 	s.GatesPass = (*maxP99 <= 0 || s.P99Ms <= *maxP99) &&
 		(*minSucc <= 0 || s.SuccRate >= *minSucc) &&
 		(*minLocal <= 0 || s.LocalRate >= *minLocal) &&
 		(*overrun <= 0 || s.Overruns == 0) &&
-		(*maxDead <= 0 || s.DeadRate <= *maxDead)
+		(*maxDead <= 0 || s.DeadRate <= *maxDead) &&
+		(*maxHedge <= 0 || s.HedgeRate <= *maxHedge)
 
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
@@ -357,8 +375,8 @@ func run(args []string, out *os.File) (int, error) {
 		return 1, err
 	}
 	if !s.GatesPass {
-		return 1, fmt.Errorf("gates failed: p99 %.1fms (max %.1f), success %.4f (min %.4f), local %.4f (min %.4f), overruns %d (limit %.1fms), dead-ends %.4f (max %.4f)",
-			s.P99Ms, *maxP99, s.SuccRate, *minSucc, s.LocalRate, *minLocal, s.Overruns, *overrun, s.DeadRate, *maxDead)
+		return 1, fmt.Errorf("gates failed: p99 %.1fms (max %.1f), success %.4f (min %.4f), local %.4f (min %.4f), overruns %d (limit %.1fms), dead-ends %.4f (max %.4f), hedge rate %.4f (max %.4f)",
+			s.P99Ms, *maxP99, s.SuccRate, *minSucc, s.LocalRate, *minLocal, s.Overruns, *overrun, s.DeadRate, *maxDead, s.HedgeRate, *maxHedge)
 	}
 	return 0, nil
 }
@@ -377,18 +395,18 @@ func classify(resp *http.Response, batch int, c *counters) {
 			// Envelope rejection (shed, draining, malformed): every query of
 			// the batch scores on the status alone.
 			for i := 0; i < batch; i++ {
-				scoreQuery(resp.StatusCode, false, 0, "", c)
+				scoreQuery(resp.StatusCode, false, 0, 0, 0, "", c)
 			}
 			return
 		}
 		for _, it := range br.Items {
-			scoreQuery(it.Status, it.Attempts > 0, it.Forwards, it.Failure, c)
+			scoreQuery(it.Status, it.Attempts > 0, it.Forwards, it.Hedges, it.Failovers, it.Failure, c)
 		}
 		return
 	}
 	var rr serve.RouteResponse
 	routed := json.NewDecoder(resp.Body).Decode(&rr) == nil && rr.Attempts > 0
-	scoreQuery(resp.StatusCode, routed, rr.Forwards, rr.Failure, c)
+	scoreQuery(resp.StatusCode, routed, rr.Forwards, rr.Hedges, rr.Failovers, rr.Failure, c)
 }
 
 // scoreQuery maps one query onto the counters: 200 is a definitive answer
@@ -396,7 +414,7 @@ func classify(resp *http.Response, batch int, c *counters) {
 // load shedding, anything else is a failure. routed says the body was a
 // real route answer, which is what makes the cluster accounting (forwards /
 // shard-unreachable / local) trustworthy.
-func scoreQuery(status int, routed bool, forwards int, failure string, c *counters) {
+func scoreQuery(status int, routed bool, forwards, hedges, failovers int, failure string, c *counters) {
 	switch status {
 	case http.StatusOK:
 		c.success.Add(1)
@@ -410,6 +428,8 @@ func scoreQuery(status int, routed bool, forwards int, failure string, c *counte
 		return
 	}
 	c.forwards.Add(int64(forwards))
+	c.hedges.Add(int64(hedges))
+	c.failovers.Add(int64(failovers))
 	if failure == string(route.FailDeadEnd) {
 		c.deadEnds.Add(1)
 	}
@@ -430,11 +450,14 @@ type mutCounters struct {
 	sent, ok, rejected, errs atomic.Int64
 }
 
-// fetchLiveN reads the live vertex count of the default graph from /readyz —
-// the id space in-batch references must stay inside. A daemon with a
-// mutation log reports it in the live section; one without is not mutable
-// and the first batch will come back 404.
-func fetchLiveN(client *http.Client, base string) (int, error) {
+// fetchLiveN reads the live vertex count of the mutable graph slot from
+// /readyz — the id space in-batch references must stay inside. A daemon
+// with a mutation log reports it in the live section; one without is not
+// mutable and the first batch will come back 404.
+func fetchLiveN(client *http.Client, base, slot string) (int, error) {
+	if slot == "" {
+		slot = serve.DefaultGraph
+	}
 	resp, err := client.Get(base + "/readyz")
 	if err != nil {
 		return 0, err
@@ -447,9 +470,9 @@ func fetchLiveN(client *http.Client, base string) (int, error) {
 	if err := json.NewDecoder(resp.Body).Decode(&ready); err != nil {
 		return 0, err
 	}
-	g, ok := ready.Graphs[serve.DefaultGraph]
+	g, ok := ready.Graphs[slot]
 	if !ok {
-		return 0, fmt.Errorf("%s serves no default graph", base)
+		return 0, fmt.Errorf("%s serves no graph %q", base, slot)
 	}
 	if g.Live != nil {
 		return g.Live.Vertices, nil
@@ -464,7 +487,7 @@ func fetchLiveN(client *http.Client, base string) (int, error) {
 // valid; occasional 422s (an already-tombstoned leave target, a duplicate
 // edge) are counted, not fatal — they exercise the rejection path the
 // daemon promises to keep atomic.
-func mutator(ctx context.Context, client *http.Client, target string, rng *xrand.RNG,
+func mutator(ctx context.Context, client *http.Client, target, slot string, rng *xrand.RNG,
 	liveN, dim int, interval time.Duration, c *mutCounters) {
 	start := time.Now()
 	for i := 0; ; i++ {
@@ -505,7 +528,7 @@ func mutator(ctx context.Context, client *http.Client, target string, rng *xrand
 			}
 			ops = append(ops, mutate.Op{Op: mutate.OpAddEdge, U: u, V: v})
 		}
-		body, err := json.Marshal(serve.MutateRequest{Ops: ops})
+		body, err := json.Marshal(serve.MutateRequest{Graph: slot, Ops: ops})
 		if err != nil {
 			c.errs.Add(1)
 			continue

@@ -264,7 +264,11 @@ func maxCode(a, b int) int {
 // answer, reusing the daemon's wire types so both sides stay in lockstep.
 // addr may list several daemons (comma-separated); the query goes to the
 // endpoint that consistent-hashing assigns the (s, t) pair, so repeated
-// invocations against the same cluster hit the same entry daemon.
+// invocations against the same cluster hit the same entry daemon. When that
+// daemon is unreachable or answers shard-unreachable (the target's shard
+// was down from where it stood), the episode is retried once against the
+// next endpoint in the pair's ring order — a different entry daemon may
+// reach a different replica — before the failure is reported.
 func runRemote(ctx context.Context, addr, proto string, s, t int, faultModel string, faultRate float64, faultRetries int, seed uint64) (int, error) {
 	if s < 0 || t < 0 {
 		return 1, fmt.Errorf("-server mode needs explicit -s and -t")
@@ -273,7 +277,6 @@ func runRemote(ctx context.Context, addr, proto string, s, t int, faultModel str
 	if ring == nil {
 		return 1, fmt.Errorf("-server needs at least one address")
 	}
-	addr = ring.Pick(obs.Hash64(uint64(s), uint64(t)))
 	req := serve.RouteRequest{Protocol: proto, S: s, T: t, FaultSeed: seed, IncludePath: true}
 	if proto == "greedy" {
 		req.Protocol = "" // let the daemon apply its default
@@ -285,24 +288,31 @@ func runRemote(ctx context.Context, addr, proto string, s, t int, faultModel str
 	if err != nil {
 		return 1, err
 	}
-	url := addr
-	if !strings.Contains(url, "://") {
-		url = "http://" + url
+	endpoints := ring.Sequence(obs.Hash64(uint64(s), uint64(t)))
+	if len(endpoints) > 2 {
+		endpoints = endpoints[:2] // one failover, not a cluster-wide sweep
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/route", bytes.NewReader(body))
+	var (
+		rr      serve.RouteResponse
+		lastErr error
+	)
+	for i, endpoint := range endpoints {
+		rr, err = queryDaemon(ctx, endpoint, body)
+		if err == nil && route.Failure(rr.Failure) != route.FailShardUnreachable {
+			break
+		}
+		lastErr = err
+		if i+1 < len(endpoints) {
+			reason := "shard unreachable"
+			if err != nil {
+				reason = err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "route: %s from %s, retrying via %s\n",
+				reason, endpoint, endpoints[i+1])
+		}
+	}
 	if err != nil {
-		return 1, err
-	}
-	hreq.Header.Set("Content-Type", "application/json")
-	resp, err := http.DefaultClient.Do(hreq)
-	if err != nil {
-		return 1, err
-	}
-	defer resp.Body.Close()
-	var rr serve.RouteResponse
-	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil || rr.Attempts == 0 {
-		// Not a RouteResponse: surface the daemon's error body.
-		return 1, fmt.Errorf("daemon returned %s", resp.Status)
+		return 1, lastErr
 	}
 	status := "ok"
 	f := route.Failure(rr.Failure)
@@ -313,10 +323,37 @@ func runRemote(ctx context.Context, addr, proto string, s, t int, faultModel str
 	if rr.Forwards > 0 {
 		hops = fmt.Sprintf(" forwards=%d", rr.Forwards)
 	}
+	if rr.Failovers > 0 || rr.Hedges > 0 {
+		hops += fmt.Sprintf(" failovers=%d hedges=%d", rr.Failovers, rr.Hedges)
+	}
 	fmt.Printf("%s %d -> %d: %s moves=%d unique=%d attempts=%d elapsed=%.1fms%s\n",
 		rr.Protocol, rr.S, rr.T, status, rr.Moves, rr.Unique, rr.Attempts, rr.ElapsedMs, hops)
 	if len(rr.Path) > 0 {
 		fmt.Printf("  path: %v\n", rr.Path)
 	}
 	return serve.ExitCodeFor(f), nil
+}
+
+// queryDaemon is one POST /route round trip against one endpoint.
+func queryDaemon(ctx context.Context, addr string, body []byte) (serve.RouteResponse, error) {
+	var rr serve.RouteResponse
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/route", bytes.NewReader(body))
+	if err != nil {
+		return rr, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		return rr, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil || rr.Attempts == 0 {
+		// Not a RouteResponse: surface the daemon's error body.
+		return rr, fmt.Errorf("daemon %s returned %s", addr, resp.Status)
+	}
+	return rr, nil
 }

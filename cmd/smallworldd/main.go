@@ -42,6 +42,19 @@
 //	smallworldd -addr :8081 -in snap.girgb -shard 0  -peers 127.0.0.1:8082,127.0.0.1:8083 &
 //	smallworldd -addr :8082 -in snap.girgb -shard 10 -peers 127.0.0.1:8081,127.0.0.1:8083 &
 //	smallworldd -addr :8083 -in snap.girgb -shard 11 -peers 127.0.0.1:8081,127.0.0.1:8082 &
+//
+// Replication (-replica/-replicas) serves each shard from a replica set:
+// hop forwards fail over between replicas (and hedge a second attempt after
+// -hedge-after), and a mutation log opened alongside -shard drives a
+// replicated live graph under the "live" slot — replica 0 acks writes after
+// its local fsynced journal append, ships the batches to the other replicas
+// over POST /cluster/replicate, and the anti-entropy loop pulls whatever
+// shipping missed until the replicas are bit-identical:
+//
+//	smallworldd -addr :8081 -in snap.girgb -shard 0 -replica 0 -replicas 127.0.0.1:8082 \
+//	    -mutate-dir /var/lib/sw/s0-r0 -hedge-after 20ms &
+//	smallworldd -addr :8082 -in snap.girgb -shard 0 -replica 1 -replicas 127.0.0.1:8081 \
+//	    -mutate-dir /var/lib/sw/s0-r1 -hedge-after 20ms &
 package main
 
 import (
@@ -97,15 +110,20 @@ func run(args []string, ready chan<- string) error {
 		traceN  = fs.Int("trace-capacity", 0, "completed traces kept for /debug/trace (0 = 64)")
 		traceO  = fs.String("trace-out", "", "write the held traces as JSONL to this file on shutdown")
 
-		mutateDir = fs.String("mutate-dir", "", "enable live mutations: journal POST /admin/mutate batches under this directory")
-		resume    = fs.Bool("resume", false, "replay an existing mutation log in -mutate-dir instead of refusing to open it")
-		compactAt = fs.Int("compact-at", 4096, "fold the overlay into a fresh snapshot once its delta reaches this many vertices (0 = never)")
+		mutateDir   = fs.String("mutate-dir", "", "enable live mutations: journal POST /admin/mutate batches under this directory")
+		resume      = fs.Bool("resume", false, "replay an existing mutation log in -mutate-dir instead of refusing to open it")
+		compactAt   = fs.Int("compact-at", 4096, "fold the overlay into a fresh snapshot once its delta reaches this many vertices (0 = never; forced to 0 under replication)")
+		mutateGraph = fs.String("mutate-graph", "", "graph slot the mutation log drives (default: \"default\" single-node, \"live\" in cluster mode)")
 
-		shard     = fs.String("shard", "", "cluster mode: binary Morton prefix this daemon owns (e.g. 0, 10, 11; empty = single-node)")
-		peers     = fs.String("peers", "", "cluster mode: comma-separated peer addresses (host:port) to seed membership")
-		join      = fs.String("join", "", "cluster mode: alias for -peers (addresses to gossip with)")
-		advertise = fs.String("advertise", "", "cluster mode: address peers reach this daemon at (default: the bound listen address)")
-		gossipInt = fs.Duration("gossip-interval", time.Second, "cluster mode: gossip round interval")
+		shard      = fs.String("shard", "", "cluster mode: binary Morton prefix this daemon owns (e.g. 0, 10, 11; empty = single-node)")
+		peers      = fs.String("peers", "", "cluster mode: comma-separated peer addresses (host:port) to seed membership")
+		join       = fs.String("join", "", "cluster mode: alias for -peers (addresses to gossip with)")
+		advertise  = fs.String("advertise", "", "cluster mode: address peers reach this daemon at (default: the bound listen address)")
+		gossipInt  = fs.Duration("gossip-interval", time.Second, "cluster mode: gossip round interval")
+		replica    = fs.Int("replica", 0, "cluster mode: replica id within the shard (0 = the shard's write primary)")
+		replicas   = fs.String("replicas", "", "cluster mode: comma-separated addresses of the other replicas serving this shard")
+		hedgeAfter = fs.Duration("hedge-after", 0, "cluster mode: fire a hedged second forward attempt at the next replica after this delay (0 = off)")
+		aeInterval = fs.Duration("anti-entropy", 2*time.Second, "replication: anti-entropy repair interval")
 	)
 	logCfg := obs.RegisterLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -154,43 +172,77 @@ func run(args []string, ready chan<- string) error {
 		})
 	}
 	srv := serve.New(serve.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		RequestTimeout: *timeout,
-		MaxHops:        *maxHops,
-		Retry:          serve.RetryPolicy{MaxAttempts: *retries, Seed: *seed},
-		Logger:         logger,
-		Tracer:         tracer,
+		Workers:             *workers,
+		QueueDepth:          *queue,
+		RequestTimeout:      *timeout,
+		MaxHops:             *maxHops,
+		Retry:               serve.RetryPolicy{MaxAttempts: *retries, Seed: *seed},
+		Logger:              logger,
+		Tracer:              tracer,
+		HedgeAfter:          *hedgeAfter,
+		AntiEntropyInterval: *aeInterval,
 	})
-	if *mutateDir != "" {
-		if *shard != "" {
-			return fmt.Errorf("-mutate-dir and -shard are mutually exclusive (shard ownership needs an immutable base)")
+	if *mutateDir == "" && *resume {
+		return fmt.Errorf("-resume requires -mutate-dir")
+	}
+
+	// enableMutation opens the journal and attaches it to slot. In cluster
+	// mode the call is deferred until the shard map is wired (the slot guard
+	// and the advertised live position need the node), so the log handle is
+	// closed from run's scope.
+	var mutLog *mutate.Log
+	defer func() {
+		if mutLog != nil {
+			mutLog.Close()
 		}
-		mutLog, err := mutate.Open(*mutateDir, g, mutate.Config{
+	}()
+	enableMutation := func(slot string) error {
+		compact := *compactAt
+		if *shard != "" && compact != 0 {
+			// Generation shipping replicates journal batches, not folded
+			// snapshots: a compaction would bump the primary's generation and
+			// strand every replica on the old one. Replicated logs keep the
+			// whole journal instead.
+			logger.Info("compaction disabled under replication",
+				"reason", "generation shipping does not replicate snapshots")
+			compact = 0
+		}
+		var err error
+		mutLog, err = mutate.Open(*mutateDir, g, mutate.Config{
 			Resume:    *resume,
-			CompactAt: *compactAt,
+			CompactAt: compact,
 			OnCompact: srv.InstallCompacted,
 			Logger:    logger,
 		})
 		if err != nil {
 			return err
 		}
-		defer mutLog.Close()
 		// EnableMutation installs the live network itself: after a resume from
 		// a compacted log its base is the folded snapshot, not g.
-		if err := srv.EnableMutation(mutLog, serve.DefaultGraph); err != nil {
+		if err := srv.EnableMutation(mutLog, slot); err != nil {
 			return err
 		}
 		st := mutLog.Stats()
-		logger.Info("mutation log open", "dir", *mutateDir,
+		logger.Info("mutation log open", "dir", *mutateDir, "graph", slot,
 			"generation", st.Generation, "replayed_batches", st.Replayed,
 			"epoch", st.Overlay.Epoch,
 			"fingerprint", fmt.Sprintf("%016x", mutLog.Fingerprint()))
-		nw, _ = srv.Network(serve.DefaultGraph)
-	} else {
-		if *resume {
-			return fmt.Errorf("-resume requires -mutate-dir")
+		return nil
+	}
+	if *mutateDir != "" && *shard == "" {
+		slot := *mutateGraph
+		if slot == "" {
+			slot = serve.DefaultGraph
 		}
+		if err := enableMutation(slot); err != nil {
+			return err
+		}
+		if slot == serve.DefaultGraph {
+			nw, _ = srv.Network(serve.DefaultGraph)
+		} else {
+			srv.AddNetwork(serve.DefaultGraph, nw)
+		}
+	} else {
 		srv.AddNetwork(serve.DefaultGraph, nw)
 	}
 
@@ -221,7 +273,7 @@ func run(args []string, ready chan<- string) error {
 		if self == "" {
 			self = ln.Addr().String()
 		}
-		node, err := cluster.NewNode(g, prefix, self, cluster.Config{Seed: *seed})
+		node, err := cluster.NewNode(g, prefix, self, cluster.Config{Seed: *seed, Replica: *replica})
 		if err != nil {
 			return err
 		}
@@ -231,14 +283,45 @@ func run(args []string, ready chan<- string) error {
 				node.Members().Add(cluster.Peer{ID: p, Fingerprint: node.Self().Fingerprint})
 			}
 		}
+		// Same-shard replicas are seeded with the full shard coordinate, so
+		// failover, hedging and journal shipping work from the first request
+		// instead of waiting for gossip to converge.
+		for _, p := range strings.Split(*replicas, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				node.Members().Add(cluster.Peer{
+					ID:          p,
+					Shard:       prefix.String(),
+					Fingerprint: node.Self().Fingerprint,
+				})
+			}
+		}
 		srv.EnableCluster(node, &http.Client{})
 		transport := cluster.NewHTTPTransport(*gossipInt)
 		go node.RunGossip(ctx, *gossipInt, transport, logger)
 		logger.Info("cluster mode", "shard", prefix.String(), "self", self,
-			"owned_vertices", node.OwnedCount(), "seed_peers", len(node.Members().Snapshot()),
-			"gossip_interval", *gossipInt)
+			"replica", *replica, "owned_vertices", node.OwnedCount(),
+			"seed_peers", len(node.Members().Snapshot()),
+			"gossip_interval", *gossipInt, "hedge_after", *hedgeAfter)
+		// Replicated live graph: the mutation log drives a separate slot
+		// (default "live") — sharded routing stays on the immutable snapshot,
+		// every replica serves the live graph whole, and the background
+		// anti-entropy loop pulls whatever journal shipping missed.
+		if *mutateDir != "" {
+			slot := *mutateGraph
+			if slot == "" {
+				slot = "live"
+			}
+			if err := enableMutation(slot); err != nil {
+				return err
+			}
+			go srv.RunAntiEntropy(ctx, *aeInterval)
+			logger.Info("replication on", "graph", slot, "replica", *replica,
+				"anti_entropy", *aeInterval, "replica_seeds", len(strings.Split(*replicas, ",")))
+		}
 	} else if *peers != "" || *join != "" || *advertise != "" {
 		return fmt.Errorf("-peers/-join/-advertise require -shard")
+	} else if *replicas != "" || *replica != 0 || *hedgeAfter != 0 {
+		return fmt.Errorf("-replica/-replicas/-hedge-after require -shard")
 	}
 	if ready != nil {
 		ready <- ln.Addr().String()

@@ -38,10 +38,28 @@ package cluster
 // prefix in binary-digit form; Fingerprint is the %016x digest of the graph
 // snapshot it serves, so peers can detect shard/graph mismatch before
 // forwarding a hop into the wrong snapshot.
+//
+// A shard may be served by several daemons — a replica set: peers sharing
+// the same Shard and Fingerprint. Replica distinguishes them (0 is the
+// write primary of the shard's replicated mutation log, if any), and the
+// live fields advertise the replicated log's position so anti-entropy can
+// tell who is behind from gossip alone: Epoch counts applied batches of the
+// current Generation, and LiveFP is the %016x digest of the live graph
+// (base plus overlay). Daemons without a mutation log leave them zero.
 type Peer struct {
 	ID          string `json:"id"`
 	Shard       string `json:"shard"`
 	Fingerprint string `json:"fingerprint"`
+	Replica     int    `json:"replica,omitempty"`
+	Epoch       uint64 `json:"epoch,omitempty"`
+	Generation  int    `json:"generation,omitempty"`
+	LiveFP      string `json:"live_fp,omitempty"`
+}
+
+// SameShard reports whether two peers serve the same shard of the same
+// snapshot — the replica-set relation.
+func (p Peer) SameShard(q Peer) bool {
+	return p.Shard == q.Shard && p.Fingerprint == q.Fingerprint
 }
 
 // GossipRequest is one push half of a gossip exchange: the sender

@@ -43,6 +43,9 @@ type Config struct {
 	// Self identifies the local daemon; it is prepended to every shared
 	// view and never expires.
 	Self Peer
+	// Replica is the local daemon's replica id within its shard (0 = the
+	// shard's write primary). NewNode folds it into Self.
+	Replica int
 	// ViewSize bounds the peers shared per gossip exchange (default 16).
 	ViewSize int
 	// Fanout is how many peers each Tick pushes to (default 3).
@@ -102,17 +105,34 @@ type Membership struct {
 	cfg Config
 
 	mu    sync.Mutex
+	self  Peer // cfg.Self plus the current live fields (SetSelfLive)
 	peers map[string]*member
 	round uint64
 }
 
 // NewMembership builds an empty membership around Self.
 func NewMembership(cfg Config) *Membership {
-	return &Membership{cfg: cfg.withDefaults(), peers: map[string]*member{}}
+	cfg = cfg.withDefaults()
+	return &Membership{cfg: cfg, self: cfg.Self, peers: map[string]*member{}}
 }
 
-// Self returns the local peer identity.
-func (m *Membership) Self() Peer { return m.cfg.Self }
+// Self returns the local peer identity, live fields included.
+func (m *Membership) Self() Peer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.self
+}
+
+// SetSelfLive updates the live-log position advertised in every subsequent
+// gossip exchange: the serving layer calls it after each applied or imported
+// mutation batch, so peers learn who is ahead without a separate protocol.
+func (m *Membership) SetSelfLive(epoch uint64, generation int, liveFP string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.self.Epoch = epoch
+	m.self.Generation = generation
+	m.self.LiveFP = liveFP
+}
 
 // Add introduces a statically configured peer (the -peers/-join flags). It
 // starts alive with a full grace period, exactly as if it had just
@@ -228,6 +248,20 @@ func (m *Membership) Snapshot() []PeerStatus {
 	return out
 }
 
+// States maps every tracked peer id to its current failure-detector state
+// in one lock acquisition — the hot forward path ranks replicas with this
+// instead of the heavier Snapshot (no sorting, no state strings).
+func (m *Membership) States() map[string]PeerState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.cfg.Now()
+	out := make(map[string]PeerState, len(m.peers))
+	for id, e := range m.peers {
+		out[id] = m.state(e, now)
+	}
+	return out
+}
+
 // Routable returns the peers a forward may target — alive first, then
 // suspect, each group sorted by ID. Down peers are excluded.
 func (m *Membership) Routable() []Peer {
@@ -264,7 +298,7 @@ func (m *Membership) View() []Peer {
 		}
 	}
 	candidates = m.sample(candidates, m.cfg.ViewSize, m.round)
-	return append([]Peer{m.cfg.Self}, candidates...)
+	return append([]Peer{m.self}, candidates...)
 }
 
 // Tick advances one gossip round and returns this round's push targets: a

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"sort"
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/torus"
 )
 
@@ -41,6 +43,7 @@ func NewNode(g *graph.Graph, prefix torus.Prefix, id string, cfg Config) (*Node,
 			ID:          id,
 			Shard:       prefix.String(),
 			Fingerprint: fmt.Sprintf("%016x", g.Fingerprint()),
+			Replica:     cfg.Replica,
 		},
 		prefix: prefix,
 		g:      g,
@@ -61,8 +64,18 @@ func NewNode(g *graph.Graph, prefix torus.Prefix, id string, cfg Config) (*Node,
 	return n, nil
 }
 
-// Self returns the local peer identity.
-func (n *Node) Self() Peer { return n.self }
+// Self returns the local peer identity, including the live-log position
+// last published with SetLive.
+func (n *Node) Self() Peer { return n.members.Self() }
+
+// Replica returns the local daemon's replica id within its shard.
+func (n *Node) Replica() int { return n.self.Replica }
+
+// SetLive publishes the local replicated-log position into the membership's
+// self entry, so every subsequent gossip exchange advertises it.
+func (n *Node) SetLive(epoch uint64, generation int, liveFP string) {
+	n.members.SetSelfLive(epoch, generation, liveFP)
+}
 
 // Shard returns the local Morton prefix.
 func (n *Node) Shard() torus.Prefix { return n.prefix }
@@ -86,14 +99,27 @@ func (n *Node) OwnedMask() []bool { return n.owned }
 // OwnedCount returns the number of vertices the local shard owns.
 func (n *Node) OwnedCount() int { return n.ownedN }
 
-// OwnerOf resolves the peer responsible for vertex v among the routable
-// members: its shard prefix must match v's Morton code and it must serve
-// the same snapshot (fingerprint equality), so a hop is never forwarded
-// into a mismatched graph. Alive peers win over suspect ones (Routable
-// orders them); ok is false when no routable peer covers the vertex — the
+// OwnerOf resolves the first peer responsible for vertex v — the head of
+// OwnersOf. ok is false when no routable peer covers the vertex — the
 // shard-unreachable case.
 func (n *Node) OwnerOf(v int) (Peer, bool) {
+	owners := n.OwnersOf(v)
+	if len(owners) == 0 {
+		return Peer{}, false
+	}
+	return owners[0], true
+}
+
+// OwnersOf resolves every routable replica of the shard owning vertex v:
+// each peer's shard prefix must match v's Morton code and it must serve the
+// same snapshot (fingerprint equality), so a hop is never forwarded into a
+// mismatched graph. Alive peers come before suspect ones (Routable orders
+// them), and within a liveness class replicas are ordered by (replica id,
+// peer id) — a deterministic failover sequence: the forward path tries them
+// in order and hedges onto the next one.
+func (n *Node) OwnersOf(v int) []Peer {
 	code := n.codes[v]
+	var owners []Peer
 	for _, p := range n.members.Routable() {
 		if p.Fingerprint != n.self.Fingerprint {
 			continue
@@ -103,10 +129,48 @@ func (n *Node) OwnerOf(v int) (Peer, bool) {
 			continue
 		}
 		if pp.Matches(code, n.bits) {
-			return p, true
+			owners = append(owners, p)
 		}
 	}
-	return Peer{}, false
+	// Routable returns alive peers before suspect ones; a stable sort by
+	// (replica, id) within the slice would reorder across that boundary, so
+	// order replicas only within each liveness class.
+	sortReplicas(owners, n.members)
+	return owners
+}
+
+// sortReplicas orders each liveness-contiguous run of peers by (replica id,
+// peer id). Routable's alive-before-suspect partition is preserved because
+// membership state is re-derived per peer and used as the primary key.
+func sortReplicas(peers []Peer, m *Membership) {
+	if len(peers) < 2 {
+		return
+	}
+	state := m.States()
+	sort.SliceStable(peers, func(i, j int) bool {
+		si, sj := state[peers[i].ID], state[peers[j].ID]
+		if si != sj {
+			return si < sj
+		}
+		if peers[i].Replica != peers[j].Replica {
+			return peers[i].Replica < peers[j].Replica
+		}
+		return peers[i].ID < peers[j].ID
+	})
+}
+
+// ReplicaSet returns the routable peers serving the local shard — the
+// targets of journal shipping and the candidates anti-entropy pulls from.
+// Self is not tracked by membership and therefore not included.
+func (n *Node) ReplicaSet() []Peer {
+	var out []Peer
+	for _, p := range n.members.Routable() {
+		if p.SameShard(n.self) {
+			out = append(out, p)
+		}
+	}
+	sortReplicas(out, n.members)
+	return out
 }
 
 // Transport carries one gossip exchange to a peer and returns its answer.
@@ -114,13 +178,36 @@ type Transport interface {
 	Exchange(ctx context.Context, peer Peer, req GossipRequest) (GossipResponse, error)
 }
 
-// RunGossip drives the push/pull loop until ctx is done: every interval it
+// GossipPhase is the deterministic jitter offset a daemon waits before its
+// first gossip round: a pure hash of the peer id spread uniformly over
+// [0, interval). Daemons started together therefore de-synchronize
+// immediately instead of gossiping in lockstep rounds forever — same idea
+// as the retry backoff's pure-hash jitter, and like it bit-identical at any
+// GOMAXPROCS (no shared RNG, no wall clock).
+func GossipPhase(id string, interval time.Duration) time.Duration {
+	if interval <= 0 {
+		return 0
+	}
+	return time.Duration(obs.Hash64(idHash(id), uint64(interval)) % uint64(interval))
+}
+
+// RunGossip drives the push/pull loop until ctx is done: after a
+// deterministic per-peer phase offset (GossipPhase), every interval it
 // ticks the membership round, pushes the bounded view to that round's
 // deterministic peer sample, and merges each answer. Exchange failures
 // strike the peer; the failure detector does the rest.
 func (n *Node) RunGossip(ctx context.Context, interval time.Duration, t Transport, logger *slog.Logger) {
 	if logger == nil {
 		logger = slog.Default()
+	}
+	if phase := GossipPhase(n.self.ID, interval); phase > 0 {
+		timer := time.NewTimer(phase)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return
+		case <-timer.C:
+		}
 	}
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
@@ -133,7 +220,7 @@ func (n *Node) RunGossip(ctx context.Context, interval time.Duration, t Transpor
 		targets := n.members.Tick()
 		view := n.members.View()
 		for _, target := range targets {
-			resp, err := t.Exchange(ctx, target, GossipRequest{From: n.self, View: view})
+			resp, err := t.Exchange(ctx, target, GossipRequest{From: n.Self(), View: view})
 			if err != nil {
 				n.members.ReportFailure(target.ID)
 				logger.Debug("gossip exchange failed", "peer", target.ID, "err", err)

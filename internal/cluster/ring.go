@@ -70,3 +70,23 @@ func (r *Ring) Pick(key uint64) string {
 
 // Addrs lists the ring's endpoints, sorted.
 func (r *Ring) Addrs() []string { return append([]string(nil), r.addrs...) }
+
+// Sequence returns every endpoint in the key's ring order: the Pick winner
+// first, then each remaining distinct endpoint as the ring is walked
+// onward. Clients use it as a deterministic failover order — when the
+// primary endpoint answers shard-unreachable or is down, the episode
+// retries against Sequence(key)[1].
+func (r *Ring) Sequence(key uint64) []string {
+	h := obs.Hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make([]bool, len(r.addrs))
+	out := make([]string, 0, len(r.addrs))
+	for i := 0; i < len(r.points) && len(out) < len(r.addrs); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.addr] {
+			seen[p.addr] = true
+			out = append(out, r.addrs[p.addr])
+		}
+	}
+	return out
+}

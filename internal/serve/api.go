@@ -63,6 +63,12 @@ type RouteResponse struct {
 	// Forwards counts cluster hop forwards of the final attempt (0 on a
 	// single-node daemon and for walks that stayed shard-local).
 	Forwards int `json:"forwards,omitempty"`
+	// Hedges counts hedged second attempts fired while forwarding the final
+	// attempt's hops; Failovers counts forwards that succeeded at a replica
+	// other than the first choice. Both cover the whole hop chain, so
+	// loadgen's accounting sums honestly across entry daemons.
+	Hedges    int `json:"hedges,omitempty"`
+	Failovers int `json:"failovers,omitempty"`
 	// ElapsedMs is the server-side wall time of the whole request, retries
 	// and backoff included.
 	ElapsedMs float64 `json:"elapsed_ms"`
@@ -134,8 +140,11 @@ type BatchItemResult struct {
 	Path    []int  `json:"path,omitempty"`
 	// Attempts counts routing attempts of this item (>1 after retries).
 	Attempts int `json:"attempts"`
-	// Forwards counts cluster hop forwards of the item's final attempt.
-	Forwards int `json:"forwards,omitempty"`
+	// Forwards counts cluster hop forwards of the item's final attempt;
+	// Hedges and Failovers mirror RouteResponse.
+	Forwards  int `json:"forwards,omitempty"`
+	Hedges    int `json:"hedges,omitempty"`
+	Failovers int `json:"failovers,omitempty"`
 	// ElapsedMs is the item's share of the batch wall time.
 	ElapsedMs float64 `json:"elapsed_ms"`
 }
@@ -180,6 +189,66 @@ type HopResponse struct {
 	// Forwards counts the hop forwards downstream of the receiver, itself
 	// included once per boundary crossing.
 	Forwards int `json:"forwards"`
+	// Hedges and Failovers count the hedged second attempts and non-first-
+	// choice successes of the downstream chain, bubbled up so the entry
+	// daemon reports totals for the whole episode.
+	Hedges    int `json:"hedges,omitempty"`
+	Failovers int `json:"failovers,omitempty"`
+}
+
+// ReplicateRequest is the body of POST /cluster/replicate: the shard
+// primary ships a journal segment — a contiguous range of canonically
+// encoded mutation batches, bound to the base fingerprint and generation —
+// to a replica, which imports it through the same validate→journal→publish
+// pipeline its own /admin/mutate would use. Replicas answer with their
+// position, so a pusher that raced ahead learns where to re-ship from.
+type ReplicateRequest struct {
+	// Graph names the mutable slot; "" selects the receiver's mutable slot.
+	Graph string `json:"graph,omitempty"`
+	// Segment carries the batches with their (base fingerprint, generation,
+	// from-seq) coordinates.
+	Segment mutate.Segment `json:"segment"`
+}
+
+// ReplicateResponse reports the receiver's replication coordinate after the
+// import (200) or the one it refused the segment at (409).
+type ReplicateResponse struct {
+	Graph string `json:"graph"`
+	// Applied counts the batches this request newly journaled and published
+	// (already-held batches are verified and skipped).
+	Applied int `json:"applied"`
+	// Position is the receiver's post-import coordinate; Position.Seq is
+	// where the next shipped segment must start.
+	Position mutate.Position `json:"position"`
+	// Self is the receiver's peer identity with its live fields refreshed,
+	// so the pusher's membership learns the new position without waiting for
+	// the next gossip round.
+	Self cluster.Peer `json:"self"`
+}
+
+// SegmentRequest is the body of POST /cluster/segment — the pull half of
+// anti-entropy: a replica that learned from gossip that a peer is ahead
+// asks it for the journal range it is missing.
+type SegmentRequest struct {
+	// Graph names the mutable slot; "" selects the receiver's mutable slot.
+	Graph string `json:"graph,omitempty"`
+	// BaseFP and Generation pin the history the puller is on; a mismatch is
+	// 409 (the puller must not apply batches from a different history).
+	BaseFP     string `json:"base_fingerprint"`
+	Generation int    `json:"generation"`
+	// From is the seq to start at — the puller's own Position.Seq.
+	From int `json:"from"`
+	// Max bounds the batches returned (0 = server cap).
+	Max int `json:"max,omitempty"`
+}
+
+// SegmentResponse carries the pulled journal range and the responder's
+// position, so the puller knows whether another round is needed.
+type SegmentResponse struct {
+	Graph    string          `json:"graph"`
+	Segment  mutate.Segment  `json:"segment"`
+	Position mutate.Position `json:"position"`
+	Self     cluster.Peer    `json:"self"`
 }
 
 // ReadyGraph describes one installed snapshot on GET /readyz.
@@ -218,9 +287,11 @@ type ReadyLive struct {
 // GET /readyz when cluster mode is on.
 type ReadyCluster struct {
 	// Self is the advertised peer id; Shard its Morton prefix ("" = whole
-	// space).
-	Self  string `json:"self"`
-	Shard string `json:"shard"`
+	// space); Replica the daemon's replica id within the shard (0 = the
+	// shard's write primary).
+	Self    string `json:"self"`
+	Shard   string `json:"shard"`
+	Replica int    `json:"replica"`
 	// OwnedVertices is the local shard's share of the snapshot.
 	OwnedVertices int `json:"owned_vertices"`
 	// Peers is the membership table with failure-detector states.

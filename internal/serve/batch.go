@@ -92,7 +92,7 @@ func (s *Server) routeOne(r *http.Request, nw *core.Network, graphName string, q
 		res      = &es.out
 		epErr    error
 		attempts int
-		forwards int
+		fwd      routeFwd
 	)
 	clustered := s.clusterEligible(nw, protoName, q)
 	for attempt := 1; ; attempt++ {
@@ -128,7 +128,7 @@ func (s *Server) routeOne(r *http.Request, nw *core.Network, graphName string, q
 			// Sharded path: partial greedy over the local shard, continuation
 			// forwarded to the owning peer, merged result recorded as one
 			// engine episode. Budget mapping mirrors RouteEpisodeInto's.
-			forwards = s.clusterRoute(r.Context(), graphName, q.S, q.T,
+			fwd = s.clusterRoute(r.Context(), graphName, q.S, q.T,
 				time.Now().Add(remaining), es)
 			epErr = nil
 		} else {
@@ -207,7 +207,7 @@ func (s *Server) routeOne(r *http.Request, nw *core.Network, graphName string, q
 	}
 	logger.Info("route episode", "graph", graphName, "protocol", protoName,
 		"s", q.S, "t", q.T, "success", res.Success, "failure", string(res.Failure),
-		"moves", res.Moves, "attempts", attempts, "forwards", forwards,
+		"moves", res.Moves, "attempts", attempts, "forwards", fwd.forwards,
 		"elapsed_ms", float64(time.Since(start).Microseconds())/1000)
 	resp := RouteResponse{
 		Graph:    graphName,
@@ -218,7 +218,9 @@ func (s *Server) routeOne(r *http.Request, nw *core.Network, graphName string, q
 		Moves:     res.Moves,
 		Unique:    res.Unique,
 		Attempts:  attempts,
-		Forwards:  forwards,
+		Forwards:  fwd.forwards,
+		Hedges:    fwd.hedges,
+		Failovers: fwd.failovers,
 		ElapsedMs: float64(time.Since(start).Microseconds()) / 1000,
 	}
 	if q.IncludePath {
@@ -353,6 +355,8 @@ func (s *Server) handleRouteBatch(w http.ResponseWriter, r *http.Request) {
 			Path:      out.resp.Path,
 			Attempts:  out.resp.Attempts,
 			Forwards:  out.resp.Forwards,
+			Hedges:    out.resp.Hedges,
+			Failovers: out.resp.Failovers,
 			ElapsedMs: out.resp.ElapsedMs,
 		}
 	}

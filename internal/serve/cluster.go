@@ -77,16 +77,28 @@ func (s *Server) peerBreaker(peer, graph string) *Breaker {
 
 // clusterEligible reports whether one validated query can take the sharded
 // path: cluster mode on, pure greedy under the standard objective, no fault
-// plan, and the resolved snapshot is the one the shard map was built over
+// plan, the resolved snapshot is the one the shard map was built over
 // (pointer equality — after a hot swap the mask no longer applies and the
-// query falls back to local full-graph routing).
+// query falls back to local full-graph routing), and the slot carries no
+// live overlay — the shard masks are bound to the immutable base, so a
+// replicated live slot routes locally over its full overlay instead.
 func (s *Server) clusterEligible(nw *core.Network, protoName string, q RouteRequest) bool {
 	node := s.clusterNode
 	return node != nil &&
 		protoName == string(core.ProtoGreedy) &&
 		nw.StandardPhi &&
 		len(q.Faults) == 0 &&
-		nw.Graph == node.Graph()
+		nw.Graph == node.Graph() &&
+		nw.LiveOverlay() == nil
+}
+
+// routeFwd is the forwarding summary of one sharded episode attempt, as
+// reported in RouteResponse: boundary crossings, hedges fired and failovers
+// won across the whole hop chain.
+type routeFwd struct {
+	forwards  int
+	hedges    int
+	failovers int
 }
 
 // clusterRoute runs one attempt of a sharded greedy episode: the local
@@ -96,34 +108,36 @@ func (s *Server) clusterEligible(nw *core.Network, protoName string, q RouteRequ
 // owning peers answered; a failed forward classifies the episode as
 // shard-unreachable. Exactly one engine episode is recorded here, at the
 // entry daemon, with the merged result — hop receivers record nothing, so
-// cluster-wide counters sum honestly. Returns the forward count of this
-// attempt.
-func (s *Server) clusterRoute(ctx context.Context, graphName string, sv, tv int, deadline time.Time, es *episodeState) int {
+// cluster-wide counters sum honestly. Returns the attempt's forwarding
+// summary.
+func (s *Server) clusterRoute(ctx context.Context, graphName string, sv, tv int, deadline time.Time, es *episodeState) routeFwd {
 	logger := obs.Logger(ctx)
 	node := s.clusterNode
 	start := time.Now()
 	res := &es.out
 	b := route.Budget{MaxScans: s.cfg.MaxHops, Deadline: deadline}
 	exit := route.GreedyCSRPartial(node.Graph(), tv, sv, node.OwnedMask(), b, &es.sc, res)
-	forwards := 0
+	var fwd routeFwd
 	if exit >= 0 {
-		hop, ok := s.forwardHop(ctx, graphName, exit, tv, deadline, 1)
+		hop, hs, ok := s.forwardHop(ctx, graphName, exit, tv, deadline, 1)
+		fwd.hedges = hs.hedges + hop.Hedges
+		fwd.failovers = hs.failovers + hop.Failovers
 		if ok {
 			mergeHop(res, hop)
-			forwards = 1 + hop.Forwards
+			fwd.forwards = 1 + hop.Forwards
 		} else {
 			s.shardUnreachable.Add(1)
 			res.Success = false
 			res.Failure = route.FailShardUnreachable
 			res.Stuck = -1
 			res.Unique = len(res.Path)
-			forwards = 1
+			fwd.forwards = 1
 			logger.Warn("shard unreachable", "graph", graphName,
 				"exit_vertex", exit, "t", tv)
 		}
 	}
 	core.RecordEpisode(*res, time.Since(start))
-	return forwards
+	return fwd
 }
 
 // mergeHop stitches a hop continuation onto the local segment. The
@@ -142,57 +156,62 @@ func mergeHop(res *route.Result, hop HopResponse) {
 	res.Truncated = hop.Failure == string(route.FailTruncated)
 }
 
-// forwardHop hands the walk at vertex `from` to its owning peer and returns
-// the classified continuation. Transport errors and 5xx answers are retried
-// under the request deadline with the daemon's backoff policy, count
-// against the (peer, graph) breaker and strike the membership's failure
-// detector; 4xx answers (snapshot mismatch, validation) are permanent. ok
-// is false when no answer could be obtained — no routable owner, breaker
-// open, retries exhausted, deadline spent — and the caller classifies the
-// episode shard-unreachable.
-func (s *Server) forwardHop(ctx context.Context, graphName string, from, t int, deadline time.Time, depth int) (HopResponse, bool) {
+// hopStats counts the forwarding decisions made locally for one forward:
+// hedged second attempts fired and successes obtained at a replica other
+// than the first choice. Downstream hops report their own counts inside
+// HopResponse; the entry daemon sums both for the episode totals.
+type hopStats struct {
+	hedges    int
+	failovers int
+}
+
+// forwardHop hands the walk at vertex `from` to the replica set owning it
+// and returns the classified continuation. Candidates come from OwnersOf in
+// deterministic failover order (alive before suspect, then replica id);
+// open-breaker peers are skipped. The first candidate is posted immediately;
+// if a hedge policy is configured and the candidate has not answered after
+// the deterministic hedge delay, a second attempt fires at the next
+// candidate and the first 200 wins — the loser is cancelled via its context
+// and records nothing (slow is not a strike). A candidate that fails on its
+// own counts against its (peer, graph) breaker, strikes the membership
+// failure detector, and fails over to the next candidate immediately.
+//
+// When every candidate of a pass failed, retryable failures (transport
+// errors, 5xx) back off and retry under the request deadline with a fresh
+// candidate list; pure-4xx passes are permanent. ok is false when no answer
+// could be obtained — no routable owner, breakers open, candidates and
+// retries exhausted, deadline spent — and the caller classifies the episode
+// shard-unreachable.
+func (s *Server) forwardHop(ctx context.Context, graphName string, from, t int, deadline time.Time, depth int) (HopResponse, hopStats, bool) {
 	logger := obs.Logger(ctx)
 	node := s.clusterNode
+	var stats hopStats
 	for attempt := 1; ; attempt++ {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
-			return HopResponse{}, false
+			return HopResponse{}, stats, false
 		}
-		peer, ok := node.OwnerOf(from)
-		if !ok {
+		owners := node.OwnersOf(from)
+		if len(owners) == 0 {
 			logger.Warn("forward failed", "reason", "no routable owner", "vertex", from)
-			return HopResponse{}, false
+			return HopResponse{}, stats, false
 		}
-		pb := s.peerBreaker(peer.ID, graphName)
-		if _, err := pb.Allow(); err != nil {
-			logger.Warn("forward failed", "reason", "peer breaker open", "peer", peer.ID)
-			return HopResponse{}, false
-		}
-		s.forwards.Add(1)
-		resp, status, err := s.postHop(ctx, peer, HopRequest{
-			Graph: graphName,
-			S:     from, T: t,
-			DeadlineMs: remaining.Milliseconds(),
-			Depth:      depth,
-		}, deadline)
-		if err == nil && status == http.StatusOK {
-			pb.Record(false)
-			node.Members().ReportSuccess(peer.ID)
-			return resp, true
-		}
-		s.forwardFails.Add(1)
-		pb.Record(true)
-		node.Members().ReportFailure(peer.ID)
-		if err != nil {
-			logger.Warn("forward failed", "peer", peer.ID, "attempt", attempt, "err", err)
-		} else {
-			logger.Warn("forward failed", "peer", peer.ID, "attempt", attempt, "status", status)
-			if status >= 400 && status < 500 {
-				return HopResponse{}, false
+		cands := owners[:0:0]
+		for _, p := range owners {
+			if _, err := s.peerBreaker(p.ID, graphName).Allow(); err == nil {
+				cands = append(cands, p)
 			}
 		}
-		if attempt >= s.cfg.Retry.MaxAttempts {
-			return HopResponse{}, false
+		if len(cands) == 0 {
+			logger.Warn("forward failed", "reason", "peer breakers open", "vertex", from, "replicas", len(owners))
+			return HopResponse{}, stats, false
+		}
+		resp, retryable, ok := s.tryReplicas(ctx, graphName, from, t, deadline, depth, cands, &stats)
+		if ok {
+			return resp, stats, true
+		}
+		if !retryable || attempt >= s.cfg.Retry.MaxAttempts {
+			return HopResponse{}, stats, false
 		}
 		wait := s.cfg.Retry.Backoff(hash64(uint64(from), uint64(t)), attempt)
 		if rem := time.Until(deadline); wait > rem {
@@ -204,10 +223,123 @@ func (s *Server) forwardHop(ctx context.Context, graphName string, from, t int, 
 			case <-timer.C:
 			case <-ctx.Done():
 				timer.Stop()
-				return HopResponse{}, false
+				return HopResponse{}, stats, false
 			}
 		}
 	}
+}
+
+// postResult is one replica attempt's answer, tagged with its candidate
+// index.
+type postResult struct {
+	idx    int
+	resp   HopResponse
+	status int
+	err    error
+}
+
+// tryReplicas runs one failover pass over the candidate replicas: post to
+// the first, hedge onto the second after the deterministic delay, fail over
+// to the next on observed failure, first 200 wins. retryable reports
+// whether at least one failure was transient (transport error or 5xx) — a
+// pure-4xx pass will not improve on retry.
+func (s *Server) tryReplicas(ctx context.Context, graphName string, from, t int, deadline time.Time, depth int, cands []cluster.Peer, stats *hopStats) (HopResponse, bool, bool) {
+	logger := obs.Logger(ctx)
+	node := s.clusterNode
+	req := HopRequest{
+		Graph: graphName,
+		S:     from, T: t,
+		DeadlineMs: time.Until(deadline).Milliseconds(),
+		Depth:      depth,
+	}
+
+	results := make(chan postResult, len(cands))
+	cancels := make([]context.CancelFunc, len(cands))
+	defer func() {
+		// Cancel whatever is still in flight — the losers of a won race.
+		// Their goroutines drain into the buffered channel and their
+		// cancellation errors are never recorded against breaker or
+		// membership: being slower than the winner is not a failure.
+		for _, cancel := range cancels {
+			if cancel != nil {
+				cancel()
+			}
+		}
+	}()
+	hedgedIdx := -1 // candidate index launched by the hedge timer
+	launch := func(i int) {
+		actx, cancel := context.WithCancel(ctx)
+		cancels[i] = cancel
+		s.forwards.Add(1)
+		go func() {
+			resp, status, err := s.postHop(actx, cands[i], req, deadline)
+			results <- postResult{i, resp, status, err}
+		}()
+	}
+
+	launch(0)
+	next, pending := 1, 1
+	var hedgeC <-chan time.Time
+	hedge := cluster.HedgePolicy{After: s.cfg.HedgeAfter, Seed: s.cfg.Retry.Seed}
+	if hedge.Enabled() && next < len(cands) {
+		c, stop := s.hedgeTimer(hedge.Delay(hash64(uint64(from), uint64(t), uint64(depth))))
+		defer stop()
+		hedgeC = c
+	}
+
+	retryable := false
+	for pending > 0 {
+		select {
+		case <-ctx.Done():
+			return HopResponse{}, false, false
+		case <-hedgeC:
+			hedgeC = nil
+			if next < len(cands) {
+				hedgedIdx = next
+				stats.hedges++
+				s.hedges.Add(1)
+				logger.Debug("forward hedged", "vertex", from,
+					"first", cands[0].ID, "hedge", cands[next].ID)
+				launch(next)
+				next++
+				pending++
+			}
+		case r := <-results:
+			pending--
+			peer := cands[r.idx]
+			pb := s.peerBreaker(peer.ID, graphName)
+			if r.err == nil && r.status == http.StatusOK {
+				pb.Record(false)
+				node.Members().ReportSuccess(peer.ID)
+				switch {
+				case r.idx == hedgedIdx:
+					s.hedgeWins.Add(1)
+				case r.idx > 0:
+					stats.failovers++
+					s.failovers.Add(1)
+				}
+				return r.resp, false, true
+			}
+			s.forwardFails.Add(1)
+			pb.Record(true)
+			node.Members().ReportFailure(peer.ID)
+			if r.err != nil {
+				retryable = true
+				logger.Warn("forward failed", "peer", peer.ID, "err", r.err)
+			} else {
+				logger.Warn("forward failed", "peer", peer.ID, "status", r.status)
+				if r.status < 400 || r.status >= 500 {
+					retryable = true
+				}
+			}
+			if next < len(cands) {
+				launch(next)
+				next++
+				pending++
+			}
+		}
+	}
+	return HopResponse{}, retryable, false
 }
 
 // postHop is one POST /cluster/hop round trip, bounded by the request
@@ -290,6 +422,10 @@ func (s *Server) handleClusterHop(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, 0, "graph %q is not the clustered snapshot", graphName)
 		return
 	}
+	if nw.LiveOverlay() != nil {
+		writeError(w, http.StatusConflict, 0, "graph %q carries a live overlay; hops route over the immutable base only", graphName)
+		return
+	}
 	if req.S < 0 || req.S >= nw.Graph.N() || req.T < 0 || req.T >= nw.Graph.N() {
 		writeError(w, http.StatusBadRequest, 0, "vertex pair (%d, %d) out of range (n = %d)",
 			req.S, req.T, nw.Graph.N())
@@ -320,7 +456,9 @@ func (s *Server) handleClusterHop(w http.ResponseWriter, r *http.Request) {
 	exit := route.GreedyCSRPartial(node.Graph(), req.T, req.S, node.OwnedMask(), b, &es.sc, res)
 	resp := HopResponse{}
 	if exit >= 0 {
-		hop, ok := s.forwardHop(r.Context(), graphName, exit, req.T, deadline, req.Depth+1)
+		hop, hs, ok := s.forwardHop(r.Context(), graphName, exit, req.T, deadline, req.Depth+1)
+		resp.Hedges = hs.hedges + hop.Hedges
+		resp.Failovers = hs.failovers + hop.Failovers
 		if ok {
 			mergeHop(res, hop)
 			resp.Forwards = 1 + hop.Forwards
@@ -378,6 +516,12 @@ func (s *Server) writeClusterMetrics(p *obs.PromWriter) {
 	p.SampleInt("smallworld_cluster_shard_unreachable_total", nil, s.shardUnreachable.Load())
 	p.Family("smallworld_cluster_hops_served_total", "counter", "POST /cluster/hop continuations served.")
 	p.SampleInt("smallworld_cluster_hops_served_total", nil, s.hopsServed.Load())
+	p.Family("smallworld_cluster_hedges_total", "counter", "Hedged second forward attempts fired.")
+	p.SampleInt("smallworld_cluster_hedges_total", nil, s.hedges.Load())
+	p.Family("smallworld_cluster_hedge_wins_total", "counter", "Hedged attempts whose response won the race.")
+	p.SampleInt("smallworld_cluster_hedge_wins_total", nil, s.hedgeWins.Load())
+	p.Family("smallworld_cluster_failovers_total", "counter", "Forwards that succeeded at a replica other than the first choice.")
+	p.SampleInt("smallworld_cluster_failovers_total", nil, s.failovers.Load())
 	p.Family("smallworld_cluster_gossip_rounds_total", "counter", "Gossip rounds ticked.")
 	p.SampleInt("smallworld_cluster_gossip_rounds_total", nil, int64(node.Members().Round()))
 
@@ -426,12 +570,16 @@ func (s *Server) clusterStats(st *ServeStats) {
 	st.Cluster = &ClusterStats{
 		Self:             node.Self().ID,
 		Shard:            node.Self().Shard,
+		Replica:          node.Replica(),
 		OwnedVertices:    node.OwnedCount(),
 		GossipRounds:     node.Members().Round(),
 		Forwards:         s.forwards.Load(),
 		ForwardFails:     s.forwardFails.Load(),
 		HopsServed:       s.hopsServed.Load(),
 		ShardUnreachable: s.shardUnreachable.Load(),
+		Hedges:           s.hedges.Load(),
+		HedgeWins:        s.hedgeWins.Load(),
+		Failovers:        s.failovers.Load(),
 		Peers:            map[string]string{},
 		PeerBreakers:     map[string]string{},
 	}
@@ -443,18 +591,26 @@ func (s *Server) clusterStats(st *ServeStats) {
 		st.Cluster.PeerBreakers[key.peer+"/"+key.graph] = fmt.Sprintf("%s (opens=%d)", b.State(), b.Opens())
 	}
 	s.peerBreakerMu.Unlock()
+	st.Cluster.Replication = s.replicationStats()
 }
 
 // ClusterStats is the cluster slice of the "smallworld.serve" expvar export.
 type ClusterStats struct {
 	Self             string
 	Shard            string
+	Replica          int
 	OwnedVertices    int
 	GossipRounds     uint64
 	Forwards         int64
 	ForwardFails     int64
 	HopsServed       int64
 	ShardUnreachable int64
+	Hedges           int64
+	HedgeWins        int64
+	Failovers        int64
+	// Replication describes journal shipping and anti-entropy (nil unless a
+	// replicated mutation log is attached).
+	Replication *ReplicationStats `json:",omitempty"`
 	// Peers maps peer id to failure-detector state.
 	Peers map[string]string
 	// PeerBreakers maps "peer/graph" to forward breaker state.

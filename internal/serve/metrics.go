@@ -27,6 +27,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.writeMutateMetrics(p)
 	if s.clusterNode != nil {
 		s.writeClusterMetrics(p)
+		s.writeReplicationMetrics(p)
 	}
 	obs.WriteTracerMetrics(p, s.tracer)
 	obs.WriteRuntimeMetrics(p)

@@ -28,9 +28,11 @@ import (
 // standard-phi Network over the log's base graph (which, after a resume
 // from a compacted log, is the folded snapshot rather than the original
 // base), publishes the log's current overlay on it, and installs it under
-// graphName. At most one slot per server is mutable; cluster mode and
-// mutation are mutually exclusive (shard ownership is computed over an
-// immutable base).
+// graphName. At most one slot per server is mutable. In cluster mode the
+// mutable slot must be separate from the clustered routing slot: shard
+// ownership is computed over an immutable base, so the replicated live
+// graph is served whole on every replica while sharded routing continues
+// on the snapshot slot.
 func (s *Server) EnableMutation(log *mutate.Log, graphName string) error {
 	if log == nil {
 		return fmt.Errorf("serve: nil mutation log")
@@ -40,8 +42,10 @@ func (s *Server) EnableMutation(log *mutate.Log, graphName string) error {
 	}
 	s.mutMu.Lock()
 	defer s.mutMu.Unlock()
-	if s.clusterNode != nil {
-		return fmt.Errorf("serve: mutation and cluster mode are mutually exclusive")
+	if node := s.clusterNode; node != nil {
+		if nw, ok := s.Network(graphName); ok && nw.Graph == node.Graph() {
+			return fmt.Errorf("serve: graph %q is the clustered routing slot; enable mutation on a separate slot", graphName)
+		}
 	}
 	if s.mutLog != nil {
 		return fmt.Errorf("serve: mutation already enabled on graph %q", s.mutGraph)
@@ -54,6 +58,13 @@ func (s *Server) EnableMutation(log *mutate.Log, graphName string) error {
 	s.AddNetwork(graphName, nw)
 	s.mutLog = log
 	s.mutGraph = graphName
+	if node := s.clusterNode; node != nil {
+		// Advertise the starting log position right away, so a replica set
+		// that boots together starts anti-entropy from real coordinates
+		// instead of waiting for the first mutation.
+		pos := log.Position()
+		node.SetLive(pos.Epoch, pos.Generation, pos.LiveFP)
+	}
 	return nil
 }
 
@@ -159,6 +170,15 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, 0, "graph %q is not mutable (mutation log drives %q)", name, mutGraph)
 		return
 	}
+	// Replicated shards have exactly one writer: replica 0. Redirecting
+	// writers statically (no election) is what rules out split-brain — a
+	// partitioned replica can serve stale reads, never divergent writes.
+	if node := s.clusterNode; node != nil && node.Replica() != 0 {
+		writeError(w, http.StatusConflict, 0,
+			"replica %d of shard %q is read-only; apply mutations at the shard primary (replica 0)",
+			node.Replica(), node.Self().Shard)
+		return
+	}
 	start := time.Now()
 	app, err := log.Apply(req.Ops)
 	if err != nil {
@@ -176,6 +196,13 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.publishLive()
 	s.mutations.Add(1)
+	if s.clusterNode != nil {
+		// The ack contract is local durability (the fsynced journal append
+		// above); shipping to replicas happens after the response, and a
+		// replica the push misses is healed by anti-entropy.
+		s.updateSelfLive()
+		go s.shipToReplicas(app.Seq)
+	}
 	logger.Debug("mutate applied", "graph", name, "ops", len(req.Ops),
 		"generation", app.Generation, "seq", app.Seq, "epoch", app.Epoch)
 	writeJSON(w, http.StatusOK, MutateResponse{

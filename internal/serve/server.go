@@ -87,6 +87,15 @@ type Config struct {
 	// RequestIDSalt salts the generated request ids; 0 derives a salt from
 	// the process start time (tests pin it for reproducible ids).
 	RequestIDSalt uint64
+	// HedgeAfter enables hedged hop forwards in cluster mode: when the
+	// first replica has not answered after a deterministic delay derived
+	// from this base (see cluster.HedgePolicy), a second attempt fires at
+	// the next surviving replica and the first response wins. 0 disables
+	// hedging — forwards fail over sequentially only.
+	HedgeAfter time.Duration
+	// AntiEntropyInterval paces the background replication repair loop
+	// started by RunAntiEntropy (default 2s).
+	AntiEntropyInterval time.Duration
 }
 
 // withDefaults fills unset fields with serviceable defaults.
@@ -112,6 +121,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 256
+	}
+	if c.AntiEntropyInterval <= 0 {
+		c.AntiEntropyInterval = 2 * time.Second
 	}
 	return c
 }
@@ -143,6 +155,23 @@ type Server struct {
 	forwardFails     atomic.Int64
 	hopsServed       atomic.Int64
 	shardUnreachable atomic.Int64
+	hedges           atomic.Int64
+	hedgeWins        atomic.Int64
+	failovers        atomic.Int64
+
+	// hedgeTimer is the injectable clock behind hedged forwards: it returns
+	// a channel that fires after d plus a stop function. Tests replace it to
+	// fire the hedge deterministically; production wraps time.NewTimer.
+	hedgeTimer func(d time.Duration) (<-chan time.Time, func())
+
+	// Replication counters (journal shipping + anti-entropy; only move when
+	// a mutation log and cluster mode are both enabled).
+	shippedBatches  atomic.Int64
+	shipFails       atomic.Int64
+	importedBatches atomic.Int64
+	aeRounds        atomic.Int64
+	aePulled        atomic.Int64
+	genLag          atomic.Int64
 
 	// drainMu orders request registration against Drain: handlers register
 	// under RLock, Drain flips the flag under Lock, so no handler can slip
@@ -199,6 +228,10 @@ func New(cfg Config) *Server {
 		logger:       logger,
 		tracer:       c.Tracer,
 		rids:         obs.NewRequestIDs(salt),
+	}
+	s.hedgeTimer = func(d time.Duration) (<-chan time.Time, func()) {
+		t := time.NewTimer(d)
+		return t.C, func() { t.Stop() }
 	}
 	empty := map[string]*core.Network{}
 	s.graphs.Store(&empty)
@@ -347,6 +380,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/admin/mutate", s.handleMutate)
 	mux.HandleFunc("/cluster/hop", s.handleClusterHop)
 	mux.HandleFunc("/cluster/gossip", s.handleClusterGossip)
+	mux.HandleFunc("/cluster/replicate", s.handleClusterReplicate)
+	mux.HandleFunc("/cluster/segment", s.handleClusterSegment)
 	return s.withRequestID(mux)
 }
 
@@ -417,6 +452,7 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 			resp.Cluster = &ReadyCluster{
 				Self:          node.Self().ID,
 				Shard:         node.Self().Shard,
+				Replica:       node.Replica(),
 				OwnedVertices: node.OwnedCount(),
 				Peers:         node.Members().Snapshot(),
 			}
