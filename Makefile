@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check vuln build test race vet cover bench bench-full bench-routing bench-cluster bench-replication perf-smoke experiments examples clean
+.PHONY: all check vuln build test race vet cover bench bench-full bench-routing bench-cluster bench-replication bench-trace perf-smoke experiments examples clean
 
 all: check
 
@@ -82,6 +82,15 @@ BENCH_OVERLAY_JSON ?= BENCH_pr8.json
 bench-overlay:
 	$(GO) test -run='^$$' -bench='PipelineGreedyEpisodes' -benchmem -benchtime=5s . \
 	  | tee /dev/stderr | $(GO) run ./cmd/benchjson -out $(BENCH_OVERLAY_JSON) -key pipeline
+
+# Distributed-tracing overhead guard: the engine hot path and the pipeline
+# episode batches with tracing disabled (nil span log — the default), which
+# must stay at the pre-tracing numbers (0 allocs/op on GreedyEpisode, ≤2%
+# drift on the pipeline), recorded into BENCH_pr10.json.
+BENCH_TRACE_JSON ?= BENCH_pr10.json
+bench-trace:
+	$(GO) test -run='^$$' -bench='^BenchmarkGreedyEpisode$$|PipelineGreedyEpisodes$$' -benchmem -benchtime=2s . \
+	  | tee /dev/stderr | $(GO) run ./cmd/benchjson -out $(BENCH_TRACE_JSON) -key untraced
 
 # In-process daemon + open-loop load generator with latency/success gates:
 # the CI perf smoke. Tune the gates there, not here.

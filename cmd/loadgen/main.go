@@ -94,13 +94,35 @@ type summary struct {
 	MutOK       int64   `json:"mutations_ok"`
 	MutRejected int64   `json:"mutations_rejected"`
 	MutErrors   int64   `json:"mutation_errors"`
+	// Phase attribution: server-side time split by phase, aggregated from
+	// the Timings block every answered query carries. Queue vs route vs
+	// forward tells apart "the daemon is saturated" (queue grows), "routing
+	// got slower" (route grows) and "a peer is slow" (forward grows) without
+	// collecting a single trace.
+	Phases map[string]phaseStat `json:"phases,omitempty"`
+	// SLO burn rate: the failure rate over answered queries as a multiple of
+	// the budget the -slo-target leaves (burn 1.0 = failing exactly at
+	// budget). Long is the whole run, short the last quarter of the
+	// schedule; the gate trips only when BOTH exceed -max-burn-rate, the
+	// standard multi-window rule that ignores a recovered early blip.
+	SLOTarget   float64 `json:"slo_target,omitempty"`
+	BurnLong    float64 `json:"burn_rate_long,omitempty"`
+	BurnShort   float64 `json:"burn_rate_short,omitempty"`
 	GateP99     float64 `json:"gate_max_p99_ms,omitempty"`
 	GateSucc    float64 `json:"gate_min_success,omitempty"`
 	GateLocal   float64 `json:"gate_min_local_success,omitempty"`
 	GateOverrun float64 `json:"gate_overrun_ms,omitempty"`
 	GateDead    float64 `json:"gate_max_dead_end,omitempty"`
 	GateHedge   float64 `json:"gate_max_hedge_rate,omitempty"`
+	GateBurn    float64 `json:"gate_max_burn_rate,omitempty"`
 	GatesPass   bool    `json:"gates_pass"`
+}
+
+// phaseStat is one phase's latency summary in the report.
+type phaseStat struct {
+	Queries int64   `json:"queries"`
+	MeanMs  float64 `json:"mean_ms"`
+	P99Ms   float64 `json:"p99_ms"`
 }
 
 // counters aggregates per-query outcomes across the generator goroutines.
@@ -110,6 +132,44 @@ type counters struct {
 	localQueries, localSuccess atomic.Int64
 	deadEnds                   atomic.Int64
 	hedges, failovers          atomic.Int64
+	// Burn-rate windows: answered/failed over the whole run [0] and over
+	// the last quarter of the schedule [1].
+	winAnswered, winFailed [2]atomic.Int64
+	// Per-phase server-side time from Timings blocks (queue, route,
+	// forward, hedge, backoff — indexed by phaseOrder).
+	phase [5]obs.LatencyHist
+}
+
+// phaseOrder names counters.phase slots; the spellings appear as keys of the
+// summary's phases object.
+var phaseOrder = [5]string{"queue", "route", "forward", "hedge", "backoff"}
+
+// recordWindow scores one answered query into the burn-rate windows.
+func (c *counters) recordWindow(short, failed bool) {
+	c.winAnswered[0].Add(1)
+	if failed {
+		c.winFailed[0].Add(1)
+	}
+	if short {
+		c.winAnswered[1].Add(1)
+		if failed {
+			c.winFailed[1].Add(1)
+		}
+	}
+}
+
+// recordPhases folds one query's Timings into the per-phase histograms (nil
+// when the query failed before routing or the daemon predates Timings).
+func (c *counters) recordPhases(tm *serve.Timings) {
+	if tm == nil {
+		return
+	}
+	us := [5]int64{tm.QueueUs, tm.RouteUs, tm.ForwardUs, tm.HedgeUs, tm.BackoffUs}
+	for i, v := range us {
+		if v > 0 || i < 2 { // queue and route are meaningful at 0; the rest mean "phase didn't run"
+			c.phase[i].Record(time.Duration(v) * time.Microsecond)
+		}
+	}
 }
 
 func run(args []string, out *os.File) (int, error) {
@@ -137,6 +197,9 @@ func run(args []string, out *os.File) (int, error) {
 		mutSlot  = fs.String("mutate-graph", "", "graph slot the mutation stream targets (empty = \"default\"; replicated clusters drive \"live\")")
 		maxDead  = fs.Float64("max-dead-end", 0, "gate: fail (exit 1) when the dead-end fraction of answered queries exceeds this (0 = off); under churn, walks through tombstoned vertices dead-end by design, so the gate bounds how much")
 		maxHedge = fs.Float64("max-hedge-rate", 0, "gate: fail (exit 1) when hedged second attempts per forward exceed this fraction (0 = off)")
+
+		sloTarget = fs.Float64("slo-target", 0, "success-rate SLO the burn-rate gate measures against, e.g. 0.99 (0 = burn gate off)")
+		maxBurn   = fs.Float64("max-burn-rate", 0, "gate: fail (exit 1) when the failure rate exceeds this multiple of the SLO's error budget over BOTH the whole run and its last quarter (0 = off; requires -slo-target)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1, err
@@ -146,6 +209,9 @@ func run(args []string, out *os.File) (int, error) {
 	}
 	if *rps <= 0 || *duration <= 0 || *batch < 1 {
 		return 1, fmt.Errorf("-rps, -duration and -batch must be positive")
+	}
+	if *maxBurn > 0 && (*sloTarget <= 0 || *sloTarget >= 1) {
+		return 1, fmt.Errorf("-max-burn-rate requires -slo-target in (0, 1)")
 	}
 
 	base := *addr
@@ -289,7 +355,10 @@ func run(args []string, out *os.File) (int, error) {
 			time.Sleep(d)
 		}
 		wg.Add(1)
-		go func(endpoint string, body []byte) {
+		// A tick in the last quarter of the schedule also scores the short
+		// burn-rate window.
+		short := 4*i >= 3*ticks
+		go func(endpoint string, body []byte, short bool) {
 			defer wg.Done()
 			sent.Add(1)
 			t0 := time.Now()
@@ -300,11 +369,16 @@ func run(args []string, out *os.File) (int, error) {
 			}
 			if err != nil {
 				errs.Add(1)
+				// The service failed to answer at all: every query of the
+				// request burns error budget.
+				for q := 0; q < *batch; q++ {
+					cnt.recordWindow(short, true)
+				}
 				return
 			}
 			hist.Record(took)
-			classify(resp, *batch, &cnt)
-		}(endpoints[i], bodies[i])
+			classify(resp, *batch, short, &cnt)
+		}(endpoints[i], bodies[i], short)
 	}
 	wg.Wait()
 	mutCancel()
@@ -346,6 +420,35 @@ func run(args []string, out *os.File) (int, error) {
 		GateOverrun:  *overrun,
 		GateDead:     *maxDead,
 		GateHedge:    *maxHedge,
+		GateBurn:     *maxBurn,
+		SLOTarget:    *sloTarget,
+	}
+	for i, name := range phaseOrder {
+		if n := cnt.phase[i].Count(); n > 0 {
+			if s.Phases == nil {
+				s.Phases = map[string]phaseStat{}
+			}
+			s.Phases[name] = phaseStat{
+				Queries: n,
+				MeanMs:  ms(cnt.phase[i].Mean()),
+				P99Ms:   ms(cnt.phase[i].Quantile(0.99)),
+			}
+		}
+	}
+	burnOK := true
+	if *maxBurn > 0 {
+		budget := 1 - *sloTarget
+		burn := func(w int) float64 {
+			answered := cnt.winAnswered[w].Load()
+			if answered == 0 {
+				return 0
+			}
+			return float64(cnt.winFailed[w].Load()) / float64(answered) / budget
+		}
+		s.BurnLong, s.BurnShort = burn(0), burn(1)
+		// Multi-window rule: only a failure rate elevated both over the whole
+		// run and right now (the last quarter) trips the gate.
+		burnOK = s.BurnLong <= *maxBurn || s.BurnShort <= *maxBurn
 	}
 	if queries > 0 {
 		s.ShedRate = float64(s.Shed) / float64(queries)
@@ -367,7 +470,8 @@ func run(args []string, out *os.File) (int, error) {
 		(*minLocal <= 0 || s.LocalRate >= *minLocal) &&
 		(*overrun <= 0 || s.Overruns == 0) &&
 		(*maxDead <= 0 || s.DeadRate <= *maxDead) &&
-		(*maxHedge <= 0 || s.HedgeRate <= *maxHedge)
+		(*maxHedge <= 0 || s.HedgeRate <= *maxHedge) &&
+		burnOK
 
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
@@ -375,8 +479,8 @@ func run(args []string, out *os.File) (int, error) {
 		return 1, err
 	}
 	if !s.GatesPass {
-		return 1, fmt.Errorf("gates failed: p99 %.1fms (max %.1f), success %.4f (min %.4f), local %.4f (min %.4f), overruns %d (limit %.1fms), dead-ends %.4f (max %.4f), hedge rate %.4f (max %.4f)",
-			s.P99Ms, *maxP99, s.SuccRate, *minSucc, s.LocalRate, *minLocal, s.Overruns, *overrun, s.DeadRate, *maxDead, s.HedgeRate, *maxHedge)
+		return 1, fmt.Errorf("gates failed: p99 %.1fms (max %.1f), success %.4f (min %.4f), local %.4f (min %.4f), overruns %d (limit %.1fms), dead-ends %.4f (max %.4f), hedge rate %.4f (max %.4f), burn %.2f/%.2f (max %.2f)",
+			s.P99Ms, *maxP99, s.SuccRate, *minSucc, s.LocalRate, *minLocal, s.Overruns, *overrun, s.DeadRate, *maxDead, s.HedgeRate, *maxHedge, s.BurnLong, s.BurnShort, *maxBurn)
 	}
 	return 0, nil
 }
@@ -387,7 +491,7 @@ func run(args []string, out *os.File) (int, error) {
 // (forwards, shard-unreachable, shard-local success) stay honest. For a
 // batch, per-item statuses are scored individually; an envelope-level
 // rejection scores every query of the batch at once.
-func classify(resp *http.Response, batch int, c *counters) {
+func classify(resp *http.Response, batch int, short bool, c *counters) {
 	defer resp.Body.Close()
 	if batch > 1 {
 		var br serve.BatchRouteResponse
@@ -395,18 +499,20 @@ func classify(resp *http.Response, batch int, c *counters) {
 			// Envelope rejection (shed, draining, malformed): every query of
 			// the batch scores on the status alone.
 			for i := 0; i < batch; i++ {
-				scoreQuery(resp.StatusCode, false, 0, 0, 0, "", c)
+				scoreQuery(resp.StatusCode, false, 0, 0, 0, "", short, c)
 			}
 			return
 		}
 		for _, it := range br.Items {
-			scoreQuery(it.Status, it.Attempts > 0, it.Forwards, it.Hedges, it.Failovers, it.Failure, c)
+			scoreQuery(it.Status, it.Attempts > 0, it.Forwards, it.Hedges, it.Failovers, it.Failure, short, c)
+			c.recordPhases(it.Timings)
 		}
 		return
 	}
 	var rr serve.RouteResponse
 	routed := json.NewDecoder(resp.Body).Decode(&rr) == nil && rr.Attempts > 0
-	scoreQuery(resp.StatusCode, routed, rr.Forwards, rr.Hedges, rr.Failovers, rr.Failure, c)
+	scoreQuery(resp.StatusCode, routed, rr.Forwards, rr.Hedges, rr.Failovers, rr.Failure, short, c)
+	c.recordPhases(rr.Timings)
 }
 
 // scoreQuery maps one query onto the counters: 200 is a definitive answer
@@ -414,15 +520,17 @@ func classify(resp *http.Response, batch int, c *counters) {
 // load shedding, anything else is a failure. routed says the body was a
 // real route answer, which is what makes the cluster accounting (forwards /
 // shard-unreachable / local) trustworthy.
-func scoreQuery(status int, routed bool, forwards, hedges, failovers int, failure string, c *counters) {
+func scoreQuery(status int, routed bool, forwards, hedges, failovers int, failure string, short bool, c *counters) {
 	switch status {
 	case http.StatusOK:
 		c.success.Add(1)
+		c.recordWindow(short, false)
 	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 		c.shed.Add(1)
 		return
 	default:
 		c.failed.Add(1)
+		c.recordWindow(short, true)
 	}
 	if !routed {
 		return

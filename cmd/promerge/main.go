@@ -1,0 +1,91 @@
+// promerge scrapes several daemons' /metrics expositions (or reads saved
+// ones) and re-emits them as a single exposition with an instance label on
+// every sample — the offline counterpart of the daemon's GET /cluster/metrics
+// federation endpoint, useful when the daemons are not clustered or when a
+// CI job wants one artifact covering the whole fleet.
+//
+// Each argument is either host:port (scraped over HTTP) or a path to a saved
+// exposition file; the instance label is the address or the file name. The
+// merged output parses again with the same parser, so promerge composes with
+// itself and with /cluster/metrics.
+//
+//	promerge 127.0.0.1:8081 127.0.0.1:8082 127.0.0.1:8083 > fleet.prom
+//	promerge d1.prom d2.prom | promerge -  # still one valid exposition
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "promerge:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("promerge", flag.ContinueOnError)
+	timeout := fs.Duration("timeout", 5*time.Second, "per-scrape HTTP timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sources := fs.Args()
+	if len(sources) == 0 {
+		return fmt.Errorf("usage: promerge [-timeout 5s] <host:port | file | -> ...")
+	}
+	client := &http.Client{Timeout: *timeout}
+
+	instances := make([]obs.Instance, 0, len(sources))
+	for _, src := range sources {
+		fams, err := load(client, src)
+		if err != nil {
+			return fmt.Errorf("%s: %w", src, err)
+		}
+		instances = append(instances, obs.Instance{Name: src, Families: fams})
+	}
+	p := obs.NewPromWriter(out)
+	obs.MergeExpositions(p, instances)
+	return p.Err()
+}
+
+// load parses one source: stdin for "-", an HTTP scrape for host:port
+// spellings, a file otherwise. A path that exists wins over the address
+// interpretation, so "./8080:metrics" style names stay readable.
+func load(client *http.Client, src string) ([]*obs.PromFamily, error) {
+	if src == "-" {
+		return obs.ParseExposition(os.Stdin)
+	}
+	if _, err := os.Stat(src); err == nil {
+		f, err := os.Open(src)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return obs.ParseExposition(f)
+	}
+	if strings.Contains(src, ":") {
+		url := src
+		if !strings.Contains(url, "://") {
+			url = "http://" + url + "/metrics"
+		}
+		resp, err := client.Get(url)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return obs.ParseExposition(io.LimitReader(resp.Body, 32<<20))
+	}
+	return nil, fmt.Errorf("not a file and not a host:port address")
+}

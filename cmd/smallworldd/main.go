@@ -62,6 +62,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -162,6 +163,7 @@ func run(args []string, ready chan<- string) error {
 	}
 
 	var tracer *obs.Tracer
+	var spans *obs.SpanLog
 	if *sample > 0 {
 		tracer = obs.NewTracer(obs.TracerConfig{
 			SampleRate: *sample,
@@ -169,6 +171,21 @@ func run(args []string, ready chan<- string) error {
 			Capacity:   *traceN,
 			Graph:      serve.DefaultGraph,
 			Now:        time.Now,
+		})
+		// The span service name must be chosen before the listener binds, so
+		// it is the advertised address when given and the listen flag
+		// otherwise — under port 0 (tests) the spelling differs from the
+		// bound address, but each daemon's spans still carry a stable,
+		// distinct identity.
+		service := *advertise
+		if service == "" {
+			service = *addr
+		}
+		spans = obs.NewSpanLog(obs.SpanLogConfig{
+			Service:    service,
+			Seed:       *seed,
+			SampleRate: *sample,
+			Capacity:   *traceN,
 		})
 	}
 	srv := serve.New(serve.Config{
@@ -179,6 +196,7 @@ func run(args []string, ready chan<- string) error {
 		Retry:               serve.RetryPolicy{MaxAttempts: *retries, Seed: *seed},
 		Logger:              logger,
 		Tracer:              tracer,
+		Spans:               spans,
 		HedgeAfter:          *hedgeAfter,
 		AntiEntropyInterval: *aeInterval,
 	})
@@ -349,10 +367,20 @@ func run(args []string, ready chan<- string) error {
 		return err
 	}
 	if *traceO != "" && tracer != nil {
-		if err := atomicio.WriteFile(*traceO, tracer.WriteJSONL); err != nil {
+		// One JSONL stream, two record shapes: episode traces ("id" key)
+		// then distributed phase spans ("trace" key) — the same layout
+		// GET /debug/trace serves, so tracestitch reads either source.
+		write := func(w io.Writer) error {
+			if err := tracer.WriteJSONL(w); err != nil {
+				return err
+			}
+			return spans.WriteJSONL(w)
+		}
+		if err := atomicio.WriteFile(*traceO, write); err != nil {
 			return fmt.Errorf("trace-out: %w", err)
 		}
-		logger.Info("traces written", "path", *traceO, "held", tracer.Stats().Held)
+		logger.Info("traces written", "path", *traceO,
+			"held", tracer.Stats().Held, "spans", spans.Stats().Buffered)
 	}
 	logger.Info("shutdown clean")
 	return nil

@@ -173,6 +173,55 @@ func (n *Node) ReplicaSet() []Peer {
 	return out
 }
 
+// ReplicaLag is one same-shard replica's replication divergence as seen from
+// the local daemon: the peer's gossip-advertised live position against the
+// local one. Gossip-learned positions lag direct contact by up to a gossip
+// round, so BatchesBehind is a floor on convergence, not an exact debt — but
+// a value that keeps growing across rounds is a replica falling behind.
+type ReplicaLag struct {
+	// Peer is the replica's advertised id, State its failure-detector state.
+	Peer  string `json:"peer"`
+	State string `json:"state"`
+	// Epoch and Generation are the peer's advertised live position (zero
+	// until its first gossip exchange carries one).
+	Epoch      uint64 `json:"epoch"`
+	Generation int    `json:"generation"`
+	// BatchesBehind is local epoch minus peer epoch when both are on the
+	// same generation: positive means the peer is behind this daemon,
+	// negative that it is ahead (anti-entropy will pull from it). Zero when
+	// generations differ — epochs on different generations don't compare.
+	BatchesBehind int64 `json:"batches_behind"`
+	// GenerationSkew is peer generation minus local generation; nonzero
+	// flags a misconfigured shard (compaction is disabled under replication).
+	GenerationSkew int `json:"generation_skew"`
+}
+
+// ReplicaLags reports the divergence of every same-shard replica against the
+// local live position (epoch, generation), ordered like ReplicaSet. Peers
+// that have not advertised a live position yet report their zero values.
+func (n *Node) ReplicaLags(epoch uint64, generation int) []ReplicaLag {
+	replicas := n.ReplicaSet()
+	if len(replicas) == 0 {
+		return nil
+	}
+	states := n.members.States()
+	out := make([]ReplicaLag, 0, len(replicas))
+	for _, p := range replicas {
+		lag := ReplicaLag{
+			Peer:           p.ID,
+			State:          states[p.ID].String(),
+			Epoch:          p.Epoch,
+			Generation:     p.Generation,
+			GenerationSkew: p.Generation - generation,
+		}
+		if p.Generation == generation {
+			lag.BatchesBehind = int64(epoch) - int64(p.Epoch)
+		}
+		out = append(out, lag)
+	}
+	return out
+}
+
 // Transport carries one gossip exchange to a peer and returns its answer.
 type Transport interface {
 	Exchange(ctx context.Context, peer Peer, req GossipRequest) (GossipResponse, error)

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"math/bits"
 	"sync/atomic"
 	"time"
@@ -21,6 +22,7 @@ type LatencyHist struct {
 	// above 2^(latMajors-1) µs (~34 minutes).
 	counts [latMajors * latSub]atomic.Int64
 	total  atomic.Int64
+	sumUs  atomic.Int64
 }
 
 const (
@@ -69,10 +71,27 @@ func latBucketUpper(i int) time.Duration {
 func (h *LatencyHist) Record(d time.Duration) {
 	h.counts[latBucket(d)].Add(1)
 	h.total.Add(1)
+	h.sumUs.Add(int64(d / time.Microsecond))
 }
 
 // Count reports the number of recorded durations.
 func (h *LatencyHist) Count() int64 { return h.total.Load() }
+
+// Sum reports the exact total of the recorded durations (microsecond
+// granularity) — unlike Quantile it carries no bucketing error, so
+// Sum/Count is a true mean.
+func (h *LatencyHist) Sum() time.Duration {
+	return time.Duration(h.sumUs.Load()) * time.Microsecond
+}
+
+// Mean reports the mean recorded duration (0 with no samples).
+func (h *LatencyHist) Mean() time.Duration {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumUs.Load()/n) * time.Microsecond
+}
 
 // Quantile returns an upper-bound estimate of the q-quantile (q in [0, 1])
 // of the recorded durations, within one sub-bucket (~6%) of the true value.
@@ -99,4 +118,29 @@ func (h *LatencyHist) Quantile(q float64) time.Duration {
 		}
 	}
 	return latBucketUpper(len(h.counts) - 1)
+}
+
+// WriteHistogramSamples emits the histogram as cumulative Prometheus
+// _bucket/_sum/_count samples under name, with labels on every line. Bucket
+// bounds are one per octave (the upper edge of each log2 major, +Inf last)
+// — 32 buckets per label set keeps the exposition small while preserving
+// the ~2× resolution dashboards need for burn-rate math. The caller
+// declares the family header once (several label sets share one family).
+func (h *LatencyHist) WriteHistogramSamples(p *PromWriter, name string, labels []Label) {
+	le := func(v float64) []Label {
+		return append(append([]Label(nil), labels...), Label{Name: "le", Value: formatPromValue(v)})
+	}
+	var cum int64
+	for major := 0; major < latMajors; major++ {
+		for minor := 0; minor < latSub; minor++ {
+			cum += h.counts[major*latSub+minor].Load()
+		}
+		bound := math.Inf(1)
+		if major < latMajors-1 {
+			bound = latBucketUpper(major*latSub + latSub - 1).Seconds()
+		}
+		p.SampleInt(name+"_bucket", le(bound), cum)
+	}
+	p.Sample(name+"_sum", labels, h.Sum().Seconds())
+	p.SampleInt(name+"_count", labels, h.total.Load())
 }

@@ -72,6 +72,34 @@ type RouteResponse struct {
 	// ElapsedMs is the server-side wall time of the whole request, retries
 	// and backoff included.
 	ElapsedMs float64 `json:"elapsed_ms"`
+	// Timings attributes the request's server-side time to phases.
+	Timings *Timings `json:"timings,omitempty"`
+}
+
+// Timings is the per-request time attribution: where the server-side wall
+// time of one routed query went, in microseconds. The buckets overlap by
+// design — HedgeUs is the armed hedge delay inside a forward, and ForwardUs
+// covers whole forward passes — so the invariant is Queue+Route+Forward+
+// Backoff ≲ Total, not equality; tracestitch computes the exact exclusive
+// attribution from the spans. Batch items share their batch's queue wait
+// (the batch holds one admission slot), so their QueueUs repeats it.
+type Timings struct {
+	// QueueUs is the admission-pool wait before a worker slot was acquired.
+	QueueUs int64 `json:"queue_us"`
+	// RouteUs is time spent in local engine episodes (full-graph or the
+	// shard-local CSR segments), summed across attempts.
+	RouteUs int64 `json:"route_us"`
+	// ForwardUs is wall time spent forwarding the walk to owning peers —
+	// whole /cluster/hop passes including failover and hedging, summed.
+	ForwardUs int64 `json:"forward_us,omitempty"`
+	// HedgeUs is the armed hedge delay: launch of the first replica attempt
+	// until a hedged second attempt fired (contained in ForwardUs).
+	HedgeUs int64 `json:"hedge_us,omitempty"`
+	// BackoffUs is time slept between transient-failure retries.
+	BackoffUs int64 `json:"backoff_us,omitempty"`
+	// TotalUs is queue wait plus everything routeOne did — the request's
+	// server-side wall time at microsecond granularity.
+	TotalUs int64 `json:"total_us"`
 }
 
 // BatchRouteRequest is the body of POST /route/batch: many routing queries
@@ -147,6 +175,9 @@ type BatchItemResult struct {
 	Failovers int `json:"failovers,omitempty"`
 	// ElapsedMs is the item's share of the batch wall time.
 	ElapsedMs float64 `json:"elapsed_ms"`
+	// Timings attributes the item's time to phases, exactly as in
+	// RouteResponse (QueueUs repeats the batch's shared admission wait).
+	Timings *Timings `json:"timings,omitempty"`
 }
 
 // HopRequest is the body of POST /cluster/hop: a shard daemon hands the
@@ -296,6 +327,13 @@ type ReadyCluster struct {
 	OwnedVertices int `json:"owned_vertices"`
 	// Peers is the membership table with failure-detector states.
 	Peers []cluster.PeerStatus `json:"peers"`
+	// Live is the local replicated-log position (nil without a replicated
+	// mutation log), and ReplicaLag the per-replica divergence computed from
+	// the live positions peers advertised through gossip — epoch deltas,
+	// generation skew — so operators can see who is behind without
+	// Prometheus.
+	Live       *mutate.Position     `json:"live,omitempty"`
+	ReplicaLag []cluster.ReplicaLag `json:"replica_lag,omitempty"`
 }
 
 // ReadyResponse is the 200 body of GET /readyz (draining and graphless

@@ -48,15 +48,20 @@ type routeOutcome struct {
 // budgeted engine episodes with transient-failure retries under the caller's
 // deadline. It is the shared core of POST /route and POST /route/batch; the
 // caller has resolved the graph, validated the query and acquired an
-// admission slot. traced enables deterministic trace sampling (the
-// single-query path; batches are not traced).
-func (s *Server) routeOne(r *http.Request, nw *core.Network, graphName string, q RouteRequest, deadline time.Time, es *episodeState, traced bool) routeOutcome {
+// admission slot. traced enables deterministic trace sampling of the
+// per-hop episode tracer (the single-query path; batches are not traced);
+// rt carries the request's distributed phase trace (nil when untraced) and
+// queued the admission wait already measured by the caller, repeated into
+// this query's Timings.
+func (s *Server) routeOne(r *http.Request, nw *core.Network, graphName string, q RouteRequest, deadline time.Time, es *episodeState, traced bool, rt *reqTrace, queued time.Duration) routeOutcome {
 	logger := obs.Logger(r.Context())
 	protoName := q.Protocol
+	tm := &Timings{QueueUs: queued.Microseconds()}
 
 	// Circuit breaker: fail fast while this (graph, protocol) is unhealthy.
 	br := s.breaker(graphName, protoName)
 	if retryIn, err := br.Allow(); err != nil {
+		rt.add(obs.SpanBreaker, time.Now(), 0, "", graphName+"/"+protoName, "open")
 		logger.Warn("route rejected", "reason", "breaker open",
 			"graph", graphName, "protocol", protoName, "retry_in_ms", retryIn.Milliseconds())
 		return routeOutcome{
@@ -129,10 +134,15 @@ func (s *Server) routeOne(r *http.Request, nw *core.Network, graphName string, q
 			// forwarded to the owning peer, merged result recorded as one
 			// engine episode. Budget mapping mirrors RouteEpisodeInto's.
 			fwd = s.clusterRoute(r.Context(), graphName, q.S, q.T,
-				time.Now().Add(remaining), es)
+				time.Now().Add(remaining), es, rt, tm)
 			epErr = nil
 		} else {
+			epStart := time.Now()
 			epErr = nw.RouteEpisodeInto(epCfg, &es.sc, res)
+			epDur := time.Since(epStart)
+			tm.RouteUs += epDur.Microseconds()
+			s.phaseLat[phaseRoute].Record(epDur)
+			rt.add(obs.SpanLocalRoute, epStart, epDur, "", "", spanErr(epErr, res))
 		}
 		if collector != nil {
 			switch {
@@ -160,9 +170,15 @@ func (s *Server) routeOne(r *http.Request, nw *core.Network, graphName string, q
 		logger.Info("route retrying", "attempt", attempt, "failure", string(res.Failure),
 			"backoff_ms", wait.Milliseconds())
 		if wait > 0 {
+			bkStart := time.Now()
 			t := time.NewTimer(wait)
 			select {
 			case <-t.C:
+				slept := time.Since(bkStart)
+				tm.BackoffUs += slept.Microseconds()
+				s.phaseLat[phaseBackoff].Record(slept)
+				rt.add(obs.SpanRetryBackoff, bkStart, slept, "",
+					fmt.Sprintf("attempt %d", attempt), "")
 			case <-r.Context().Done():
 				t.Stop()
 				logger.Info("route abandoned", "reason", "client gone during backoff", "err", r.Context().Err())
@@ -209,6 +225,7 @@ func (s *Server) routeOne(r *http.Request, nw *core.Network, graphName string, q
 		"s", q.S, "t", q.T, "success", res.Success, "failure", string(res.Failure),
 		"moves", res.Moves, "attempts", attempts, "forwards", fwd.forwards,
 		"elapsed_ms", float64(time.Since(start).Microseconds())/1000)
+	tm.TotalUs = tm.QueueUs + time.Since(start).Microseconds()
 	resp := RouteResponse{
 		Graph:    graphName,
 		Protocol: protoName,
@@ -222,6 +239,7 @@ func (s *Server) routeOne(r *http.Request, nw *core.Network, graphName string, q
 		Hedges:    fwd.hedges,
 		Failovers: fwd.failovers,
 		ElapsedMs: float64(time.Since(start).Microseconds()) / 1000,
+		Timings:   tm,
 	}
 	if q.IncludePath {
 		// The episode's Path aliases the pooled state and is overwritten by
@@ -229,6 +247,20 @@ func (s *Server) routeOne(r *http.Request, nw *core.Network, graphName string, q
 		resp.Path = append([]int(nil), res.Path...)
 	}
 	return routeOutcome{status: StatusFor(res.Failure), resp: resp}
+}
+
+// spanErr classifies one engine episode's outcome for its local_route span:
+// the error text, the failure class of an unsuccessful episode, or "" when
+// the walk delivered.
+func spanErr(err error, res *route.Result) string {
+	switch {
+	case err != nil:
+		return err.Error()
+	case res.Success:
+		return ""
+	default:
+		return string(res.Failure)
+	}
 }
 
 // validateItem checks one query against the resolved network, mirroring the
@@ -290,20 +322,31 @@ func (s *Server) handleRouteBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// One distributed trace covers the whole batch: the queue wait is shared
+	// (one admission slot), items contribute their own phase spans.
+	rt := s.startEntryTrace()
+	defer func() { rt.finish("") }()
+
 	// Admission: the whole batch is one unit of work — one slot, shed as one.
+	qStart := time.Now()
 	if err := s.pool.Acquire(r.Context()); err != nil {
 		if err == ErrOverloaded {
+			rt.finish("shed")
 			logger.Warn("batch shed", "reason", "overloaded",
 				"items", len(req.Items), "inflight", s.pool.InFlight(), "waiting", s.pool.Waiting())
 			writeError(w, http.StatusTooManyRequests, s.cfg.RetryAfter, "overloaded: %d in flight, %d queued",
 				s.pool.InFlight(), s.pool.Waiting())
 			return
 		}
+		rt.finish("cancelled while queued")
 		logger.Info("batch rejected", "reason", "cancelled while queued", "err", err)
 		writeError(w, http.StatusServiceUnavailable, 0, "cancelled while queued: %v", err)
 		return
 	}
 	defer s.pool.Release()
+	queued := time.Since(qStart)
+	s.phaseLat[phaseQueue].Record(queued)
+	rt.add(obs.SpanQueueWait, qStart, queued, "", "", "")
 	logger.Debug("batch admitted", "graph", graphName, "items", len(req.Items),
 		"inflight", s.pool.InFlight(), "waiting", s.pool.Waiting())
 
@@ -336,7 +379,7 @@ func (s *Server) handleRouteBatch(w http.ResponseWriter, r *http.Request) {
 			Faults:      item.Faults,
 			FaultSeed:   item.FaultSeed,
 			IncludePath: item.IncludePath,
-		}, deadline, es, false)
+		}, deadline, es, false, rt, queued)
 		if out.errMsg != "" {
 			results[i].Status = out.status
 			results[i].Error = out.errMsg
@@ -358,6 +401,7 @@ func (s *Server) handleRouteBatch(w http.ResponseWriter, r *http.Request) {
 			Hedges:    out.resp.Hedges,
 			Failovers: out.resp.Failovers,
 			ElapsedMs: out.resp.ElapsedMs,
+			Timings:   out.resp.Timings,
 		}
 	}
 	writeJSON(w, http.StatusOK, BatchRouteResponse{

@@ -110,16 +110,22 @@ type routeFwd struct {
 // entry daemon, with the merged result — hop receivers record nothing, so
 // cluster-wide counters sum honestly. Returns the attempt's forwarding
 // summary.
-func (s *Server) clusterRoute(ctx context.Context, graphName string, sv, tv int, deadline time.Time, es *episodeState) routeFwd {
+func (s *Server) clusterRoute(ctx context.Context, graphName string, sv, tv int, deadline time.Time, es *episodeState, rt *reqTrace, tm *Timings) routeFwd {
 	logger := obs.Logger(ctx)
 	node := s.clusterNode
 	start := time.Now()
 	res := &es.out
 	b := route.Budget{MaxScans: s.cfg.MaxHops, Deadline: deadline}
 	exit := route.GreedyCSRPartial(node.Graph(), tv, sv, node.OwnedMask(), b, &es.sc, res)
+	segDur := time.Since(start)
+	tm.RouteUs += segDur.Microseconds()
+	s.phaseLat[phaseRoute].Record(segDur)
+	rt.add(obs.SpanLocalRoute, start, segDur, "", "partial", "")
 	var fwd routeFwd
 	if exit >= 0 {
-		hop, hs, ok := s.forwardHop(ctx, graphName, exit, tv, deadline, 1)
+		fwdStart := time.Now()
+		hop, hs, ok := s.forwardHop(ctx, graphName, exit, tv, deadline, 1, rt, tm)
+		tm.ForwardUs += time.Since(fwdStart).Microseconds()
 		fwd.hedges = hs.hedges + hop.Hedges
 		fwd.failovers = hs.failovers + hop.Failovers
 		if ok {
@@ -182,7 +188,7 @@ type hopStats struct {
 // could be obtained — no routable owner, breakers open, candidates and
 // retries exhausted, deadline spent — and the caller classifies the episode
 // shard-unreachable.
-func (s *Server) forwardHop(ctx context.Context, graphName string, from, t int, deadline time.Time, depth int) (HopResponse, hopStats, bool) {
+func (s *Server) forwardHop(ctx context.Context, graphName string, from, t int, deadline time.Time, depth int, rt *reqTrace, tm *Timings) (HopResponse, hopStats, bool) {
 	logger := obs.Logger(ctx)
 	node := s.clusterNode
 	var stats hopStats
@@ -206,7 +212,7 @@ func (s *Server) forwardHop(ctx context.Context, graphName string, from, t int, 
 			logger.Warn("forward failed", "reason", "peer breakers open", "vertex", from, "replicas", len(owners))
 			return HopResponse{}, stats, false
 		}
-		resp, retryable, ok := s.tryReplicas(ctx, graphName, from, t, deadline, depth, cands, &stats)
+		resp, retryable, ok := s.tryReplicas(ctx, graphName, from, t, deadline, depth, cands, &stats, rt, tm)
 		if ok {
 			return resp, stats, true
 		}
@@ -218,9 +224,15 @@ func (s *Server) forwardHop(ctx context.Context, graphName string, from, t int, 
 			wait = rem
 		}
 		if wait > 0 {
+			bkStart := time.Now()
 			timer := time.NewTimer(wait)
 			select {
 			case <-timer.C:
+				slept := time.Since(bkStart)
+				tm.BackoffUs += slept.Microseconds()
+				s.phaseLat[phaseBackoff].Record(slept)
+				rt.add(obs.SpanRetryBackoff, bkStart, slept, "",
+					fmt.Sprintf("forward attempt %d", attempt), "")
 			case <-ctx.Done():
 				timer.Stop()
 				return HopResponse{}, stats, false
@@ -230,12 +242,13 @@ func (s *Server) forwardHop(ctx context.Context, graphName string, from, t int, 
 }
 
 // postResult is one replica attempt's answer, tagged with its candidate
-// index.
+// index and the round-trip wall time.
 type postResult struct {
 	idx    int
 	resp   HopResponse
 	status int
 	err    error
+	dur    time.Duration
 }
 
 // tryReplicas runs one failover pass over the candidate replicas: post to
@@ -243,7 +256,15 @@ type postResult struct {
 // to the next on observed failure, first 200 wins. retryable reports
 // whether at least one failure was transient (transport error or 5xx) — a
 // pure-4xx pass will not improve on retry.
-func (s *Server) tryReplicas(ctx context.Context, graphName string, from, t int, deadline time.Time, depth int, cands []cluster.Peer, stats *hopStats) (HopResponse, bool, bool) {
+//
+// Tracing: each launched attempt gets a forward_rpc span whose id is
+// allocated serially in the select loop (deterministic despite racing RPCs)
+// and rides the Traceparent header, so the receiving daemon's hop root
+// parents onto it. A cancelled loser still publishes its span (err
+// "cancelled") — the peer may have served the hop and recorded children
+// under that id, and a published parent is what keeps stitched trees free of
+// orphans.
+func (s *Server) tryReplicas(ctx context.Context, graphName string, from, t int, deadline time.Time, depth int, cands []cluster.Peer, stats *hopStats, rt *reqTrace, tm *Timings) (HopResponse, bool, bool) {
 	logger := obs.Logger(ctx)
 	node := s.clusterNode
 	req := HopRequest{
@@ -255,14 +276,24 @@ func (s *Server) tryReplicas(ctx context.Context, graphName string, from, t int,
 
 	results := make(chan postResult, len(cands))
 	cancels := make([]context.CancelFunc, len(cands))
+	spanIDs := make([]string, len(cands))
+	starts := make([]time.Time, len(cands))
+	ended := make([]bool, len(cands))
+	passStart := time.Now()
 	defer func() {
 		// Cancel whatever is still in flight — the losers of a won race.
 		// Their goroutines drain into the buffered channel and their
 		// cancellation errors are never recorded against breaker or
-		// membership: being slower than the winner is not a failure.
-		for _, cancel := range cancels {
+		// membership: being slower than the winner is not a failure. Their
+		// spans are published as cancelled so downstream hop spans keep a
+		// recorded parent.
+		for i, cancel := range cancels {
 			if cancel != nil {
 				cancel()
+				if !ended[i] {
+					rt.end(spanIDs[i], obs.SpanForwardRPC, starts[i], time.Since(starts[i]),
+						cands[i].ID, fmt.Sprintf("hop depth=%d", depth), "cancelled")
+				}
 			}
 		}
 	}()
@@ -270,10 +301,14 @@ func (s *Server) tryReplicas(ctx context.Context, graphName string, from, t int,
 	launch := func(i int) {
 		actx, cancel := context.WithCancel(ctx)
 		cancels[i] = cancel
+		spanIDs[i] = rt.allocID()
+		starts[i] = time.Now()
+		tp := rt.traceparent(spanIDs[i])
 		s.forwards.Add(1)
 		go func() {
-			resp, status, err := s.postHop(actx, cands[i], req, deadline)
-			results <- postResult{i, resp, status, err}
+			t0 := time.Now()
+			resp, status, err := s.postHop(actx, cands[i], req, deadline, tp)
+			results <- postResult{i, resp, status, err, time.Since(t0)}
 		}()
 	}
 
@@ -298,6 +333,11 @@ func (s *Server) tryReplicas(ctx context.Context, graphName string, from, t int,
 				hedgedIdx = next
 				stats.hedges++
 				s.hedges.Add(1)
+				hedgeWait := time.Since(passStart)
+				tm.HedgeUs += hedgeWait.Microseconds()
+				s.phaseLat[phaseHedge].Record(hedgeWait)
+				rt.add(obs.SpanHedgeWait, passStart, hedgeWait,
+					cands[next].ID, fmt.Sprintf("hedge idx=%d", next), "")
 				logger.Debug("forward hedged", "vertex", from,
 					"first", cands[0].ID, "hedge", cands[next].ID)
 				launch(next)
@@ -308,30 +348,42 @@ func (s *Server) tryReplicas(ctx context.Context, graphName string, from, t int,
 			pending--
 			peer := cands[r.idx]
 			pb := s.peerBreaker(peer.ID, graphName)
+			s.phaseLat[phaseForward].Record(r.dur)
 			if r.err == nil && r.status == http.StatusOK {
+				ended[r.idx] = true
+				rt.end(spanIDs[r.idx], obs.SpanForwardRPC, starts[r.idx], r.dur,
+					peer.ID, fmt.Sprintf("hop depth=%d", depth), "")
 				pb.Record(false)
 				node.Members().ReportSuccess(peer.ID)
 				switch {
 				case r.idx == hedgedIdx:
 					s.hedgeWins.Add(1)
+					s.hedgeWinLat.Record(r.dur)
 				case r.idx > 0:
 					stats.failovers++
 					s.failovers.Add(1)
+					s.failoverLat.Record(time.Since(passStart))
 				}
 				return r.resp, false, true
 			}
 			s.forwardFails.Add(1)
 			pb.Record(true)
 			node.Members().ReportFailure(peer.ID)
+			var errMsg string
 			if r.err != nil {
 				retryable = true
+				errMsg = r.err.Error()
 				logger.Warn("forward failed", "peer", peer.ID, "err", r.err)
 			} else {
+				errMsg = fmt.Sprintf("status %d", r.status)
 				logger.Warn("forward failed", "peer", peer.ID, "status", r.status)
 				if r.status < 400 || r.status >= 500 {
 					retryable = true
 				}
 			}
+			ended[r.idx] = true
+			rt.end(spanIDs[r.idx], obs.SpanForwardRPC, starts[r.idx], r.dur,
+				peer.ID, fmt.Sprintf("hop depth=%d", depth), errMsg)
 			if next < len(cands) {
 				launch(next)
 				next++
@@ -345,8 +397,9 @@ func (s *Server) tryReplicas(ctx context.Context, graphName string, from, t int,
 // postHop is one POST /cluster/hop round trip, bounded by the request
 // deadline and carrying the request id across the hop (satellite of the
 // observability story: one id labels the episode on every shard it
-// touches).
-func (s *Server) postHop(ctx context.Context, peer cluster.Peer, req HopRequest, deadline time.Time) (HopResponse, int, error) {
+// touches). tp, when non-empty, is the Traceparent header value naming the
+// sender's forward_rpc span, so the receiver's spans parent onto it.
+func (s *Server) postHop(ctx context.Context, peer cluster.Peer, req HopRequest, deadline time.Time, tp string) (HopResponse, int, error) {
 	var resp HopResponse
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -362,6 +415,9 @@ func (s *Server) postHop(ctx context.Context, peer cluster.Peer, req HopRequest,
 	hreq.Header.Set("Content-Type", "application/json")
 	if id := obs.RequestID(ctx); id != "" {
 		hreq.Header.Set("X-Request-ID", id)
+	}
+	if tp != "" {
+		hreq.Header.Set(obs.TraceHeader, tp)
 	}
 	hresp, err := s.clusterClient.Do(hreq)
 	if err != nil {
@@ -433,6 +489,13 @@ func (s *Server) handleClusterHop(w http.ResponseWriter, r *http.Request) {
 	}
 	s.hopsServed.Add(1)
 
+	// The forwarding daemon records its own side of the trace: a hop root
+	// parented on the caller's forward_rpc span (adopted from Traceparent),
+	// with this shard's local segment and onward forwards as children —
+	// without it, stitched trees would show the entry daemon only.
+	rt := s.startHopTrace(r, fmt.Sprintf("depth=%d", req.Depth))
+	defer func() { rt.finish("") }()
+
 	deadline := time.Now().Add(s.cfg.RequestTimeout)
 	if req.DeadlineMs > 0 {
 		if d := time.Now().Add(time.Duration(req.DeadlineMs) * time.Millisecond); d.Before(deadline) {
@@ -440,6 +503,7 @@ func (s *Server) handleClusterHop(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if req.Depth > maxHopDepth {
+		rt.finish("truncated")
 		logger.Warn("hop chain truncated", "depth", req.Depth, "s", req.S, "t", req.T)
 		writeJSON(w, http.StatusOK, HopResponse{
 			Failure: string(route.FailTruncated),
@@ -453,10 +517,18 @@ func (s *Server) handleClusterHop(w http.ResponseWriter, r *http.Request) {
 	defer episodePool.Put(es)
 	res := &es.out
 	b := route.Budget{MaxScans: s.cfg.MaxHops, Deadline: deadline}
+	segStart := time.Now()
 	exit := route.GreedyCSRPartial(node.Graph(), req.T, req.S, node.OwnedMask(), b, &es.sc, res)
+	segDur := time.Since(segStart)
+	s.phaseLat[phaseRoute].Record(segDur)
+	rt.add(obs.SpanLocalRoute, segStart, segDur, "", "partial", "")
+	// The hop's Timings stay local: HopResponse carries no attribution (the
+	// entry daemon owns the merged episode), but the per-phase histograms and
+	// spans above still need the accumulator forwardHop threads through.
+	tm := &Timings{}
 	resp := HopResponse{}
 	if exit >= 0 {
-		hop, hs, ok := s.forwardHop(r.Context(), graphName, exit, req.T, deadline, req.Depth+1)
+		hop, hs, ok := s.forwardHop(r.Context(), graphName, exit, req.T, deadline, req.Depth+1, rt, tm)
 		resp.Hedges = hs.hedges + hop.Hedges
 		resp.Failovers = hs.failovers + hop.Failovers
 		if ok {
@@ -524,6 +596,10 @@ func (s *Server) writeClusterMetrics(p *obs.PromWriter) {
 	p.SampleInt("smallworld_cluster_failovers_total", nil, s.failovers.Load())
 	p.Family("smallworld_cluster_gossip_rounds_total", "counter", "Gossip rounds ticked.")
 	p.SampleInt("smallworld_cluster_gossip_rounds_total", nil, int64(node.Members().Round()))
+	p.Family("smallworld_cluster_hedge_win_latency_seconds", "histogram", "Round-trip latency of hedged attempts that won their race.")
+	s.hedgeWinLat.WriteHistogramSamples(p, "smallworld_cluster_hedge_win_latency_seconds", nil)
+	p.Family("smallworld_cluster_failover_latency_seconds", "histogram", "Time from a forward pass's first attempt to a success at a non-first-choice replica.")
+	s.failoverLat.WriteHistogramSamples(p, "smallworld_cluster_failover_latency_seconds", nil)
 
 	counts := node.Members().CountByState()
 	p.Family("smallworld_cluster_peers", "gauge", "Known peers by failure-detector state.")

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"io"
 	"net/http"
 	"sort"
 	"strings"
@@ -21,6 +22,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", obs.PromContentType)
+	if err := s.writeMetricsTo(w); err != nil {
+		obs.Logger(r.Context()).Warn("metrics write failed", "err", err)
+	}
+}
+
+// writeMetricsTo renders the full exposition to w. The federation endpoint
+// (/cluster/metrics) calls this directly to scrape the local daemon
+// in-process — no loopback HTTP round-trip.
+func (s *Server) writeMetricsTo(w io.Writer) error {
 	p := obs.NewPromWriter(w)
 	obs.WriteEngineMetrics(p, core.Stats())
 	s.writeServeMetrics(p)
@@ -29,10 +39,36 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.writeClusterMetrics(p)
 		s.writeReplicationMetrics(p)
 	}
+	s.writeTraceMetrics(p)
 	obs.WriteTracerMetrics(p, s.tracer)
 	obs.WriteRuntimeMetrics(p)
-	if err := p.Err(); err != nil {
-		obs.Logger(r.Context()).Warn("metrics write failed", "err", err)
+	return p.Err()
+}
+
+// writeTraceMetrics emits the per-phase request-time histograms, the span-log
+// counters, and the federation scrape counters. The phase histograms are
+// recorded on every request — traced or not — so the attribution is complete
+// even at low sample rates; spans only add the per-request join key.
+func (s *Server) writeTraceMetrics(p *obs.PromWriter) {
+	p.Family("smallworld_request_phase_seconds", "histogram", "Request wall time by phase (queue_wait, local_route, forward_rpc, hedge_wait, retry_backoff, anti_entropy).")
+	for ph := 0; ph < phaseCount; ph++ {
+		s.phaseLat[ph].WriteHistogramSamples(p, "smallworld_request_phase_seconds",
+			[]obs.Label{{Name: "phase", Value: phaseNames[ph]}})
+	}
+	if s.spans != nil {
+		st := s.spans.Stats()
+		p.Family("smallworld_trace_spans_published_total", "counter", "Phase spans recorded by the distributed span log.")
+		p.SampleInt("smallworld_trace_spans_published_total", nil, st.Published)
+		p.Family("smallworld_trace_spans_dropped_total", "counter", "Phase spans overwritten before export (ring full).")
+		p.SampleInt("smallworld_trace_spans_dropped_total", nil, st.Dropped)
+		p.Family("smallworld_trace_spans_buffered", "gauge", "Completed spans currently held in the ring.")
+		p.SampleInt("smallworld_trace_spans_buffered", nil, int64(st.Buffered))
+	}
+	if s.clusterNode != nil {
+		p.Family("smallworld_federation_scrapes_total", "counter", "Peer scrapes attempted by GET /cluster/metrics.")
+		p.SampleInt("smallworld_federation_scrapes_total", nil, s.fedScrapes.Load())
+		p.Family("smallworld_federation_scrape_failures_total", "counter", "Peer scrapes that failed or returned unparsable expositions.")
+		p.SampleInt("smallworld_federation_scrape_failures_total", nil, s.fedScrapeFails.Load())
 	}
 }
 
@@ -118,19 +154,28 @@ func (s *Server) writeServeMetrics(p *obs.PromWriter) {
 	}
 }
 
-// handleTrace serves GET /debug/trace: the completed sampled traces as JSON
-// Lines, oldest first. 404 when the daemon runs without a tracer.
+// handleTrace serves GET /debug/trace: the completed sampled episode traces
+// followed by the distributed phase spans, both as JSON Lines, oldest first.
+// The two record shapes share the stream — episode traces carry an "id" key,
+// phase spans a "trace" key — so consumers (and tracestitch) can split them
+// without a framing protocol. 404 when the daemon runs without either.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, 0, "GET required")
 		return
 	}
-	if s.tracer == nil {
+	if s.tracer == nil && s.spans == nil {
 		writeError(w, http.StatusNotFound, 0, "tracing disabled (start the daemon with -trace-sample > 0)")
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	if err := s.tracer.WriteJSONL(w); err != nil {
-		obs.Logger(r.Context()).Warn("trace write failed", "err", err)
+	if s.tracer != nil {
+		if err := s.tracer.WriteJSONL(w); err != nil {
+			obs.Logger(r.Context()).Warn("trace write failed", "err", err)
+			return
+		}
+	}
+	if err := s.spans.WriteJSONL(w); err != nil {
+		obs.Logger(r.Context()).Warn("span write failed", "err", err)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"time"
@@ -75,6 +76,10 @@ func (s *Server) handleClusterReplicate(w http.ResponseWriter, r *http.Request) 
 		writeError(w, http.StatusNotFound, 0, "replication disabled (needs cluster mode and -mutate-dir)")
 		return
 	}
+	// Adopt the shipper's trace context: the import shows up as a hop root
+	// under its replicate forward_rpc span.
+	rt := s.startHopTrace(r, "replicate")
+	defer func() { rt.finish("") }()
 	var req ReplicateRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, maxReplicateBody)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, 0, "bad request body: %v", err)
@@ -136,6 +141,10 @@ func (s *Server) handleClusterSegment(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, 0, "replication disabled (needs cluster mode and -mutate-dir)")
 		return
 	}
+	// Adopt the puller's trace context: the export shows up as a hop root
+	// under its segment forward_rpc span.
+	rt := s.startHopTrace(r, "segment")
+	defer func() { rt.finish("") }()
 	var req SegmentRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, 0, "bad request body: %v", err)
@@ -194,18 +203,33 @@ func (s *Server) shipToReplicas(fromSeq int) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
 	defer cancel()
+	// The push pass is one internal trace: a root on the anti-entropy lane
+	// (detail "ship") with one forward_rpc child per replica shipped to, so
+	// stitched trees show repair traffic next to request traffic.
+	rt := s.startLocalTrace(obs.SpanAntiEntropy, "ship")
 	for _, peer := range replicas {
-		s.shipSegment(ctx, node, peer, mutGraph, log, seg, true)
+		s.shipSegment(ctx, node, peer, mutGraph, log, seg, true, rt)
 	}
+	rt.finish("")
 }
 
 // shipSegment posts one segment to one replica, feeding the answered
 // identity back into membership (a replication response is direct contact).
 // retryGap allows a single immediate re-ship from the replica's reported
 // seq when the push raced ahead of it.
-func (s *Server) shipSegment(ctx context.Context, node *cluster.Node, peer cluster.Peer, graphName string, log *mutate.Log, seg mutate.Segment, retryGap bool) {
+func (s *Server) shipSegment(ctx context.Context, node *cluster.Node, peer cluster.Peer, graphName string, log *mutate.Log, seg mutate.Segment, retryGap bool, rt *reqTrace) {
 	var resp ReplicateResponse
-	status, err := s.postPeerJSON(ctx, peer, "/cluster/replicate", ReplicateRequest{Graph: graphName, Segment: seg}, &resp)
+	spanID := rt.allocID()
+	shipStart := time.Now()
+	status, err := s.postPeerJSON(ctx, peer, "/cluster/replicate", ReplicateRequest{Graph: graphName, Segment: seg}, &resp, rt.traceparent(spanID))
+	shipErr := ""
+	if err != nil {
+		shipErr = err.Error()
+	} else if status != http.StatusOK {
+		shipErr = fmt.Sprintf("status %d", status)
+	}
+	rt.end(spanID, obs.SpanForwardRPC, shipStart, time.Since(shipStart), peer.ID,
+		fmt.Sprintf("replicate from=%d batches=%d", seg.From, len(seg.Batches)), shipErr)
 	if err != nil {
 		s.shipFails.Add(1)
 		node.Members().ReportFailure(peer.ID)
@@ -226,7 +250,7 @@ func (s *Server) shipSegment(ctx context.Context, node *cluster.Node, peer clust
 			s.logger.Warn("journal re-ship aborted", "peer", peer.ID, "from", resp.Position.Seq, "err", err)
 			return
 		}
-		s.shipSegment(ctx, node, peer, graphName, log, wider, false)
+		s.shipSegment(ctx, node, peer, graphName, log, wider, false, rt)
 	default:
 		s.shipFails.Add(1)
 		s.logger.Warn("journal ship refused", "peer", peer.ID, "from", seg.From, "status", status)
@@ -267,13 +291,32 @@ func (s *Server) AntiEntropyRound(ctx context.Context) int {
 	if !found {
 		return 0
 	}
+	// One trace per repair round on the internal id lane: the root is the
+	// anti_entropy span, each segment pull a forward_rpc child, and the
+	// exporter's spans (adopted from the Traceparent header) nest under it.
+	rt := s.startLocalTrace(obs.SpanAntiEntropy, "pull")
+	roundStart := time.Now()
+	defer func() {
+		s.phaseLat[phaseAntiEntropy].Record(time.Since(roundStart))
+		rt.finish("")
+	}()
 	pulled := 0
 	for {
 		pos = log.Position()
 		var resp SegmentResponse
+		spanID := rt.allocID()
+		pullStart := time.Now()
 		status, err := s.postPeerJSON(ctx, target, "/cluster/segment", SegmentRequest{
 			Graph: mutGraph, BaseFP: pos.BaseFP, Generation: pos.Generation, From: pos.Seq,
-		}, &resp)
+		}, &resp, rt.traceparent(spanID))
+		pullErr := ""
+		if err != nil {
+			pullErr = err.Error()
+		} else if status != http.StatusOK {
+			pullErr = fmt.Sprintf("status %d", status)
+		}
+		rt.end(spanID, obs.SpanForwardRPC, pullStart, time.Since(pullStart), target.ID,
+			fmt.Sprintf("segment from=%d", pos.Seq), pullErr)
 		if err != nil {
 			node.Members().ReportFailure(target.ID)
 			s.logger.Warn("anti-entropy pull failed", "peer", target.ID, "from", pos.Seq, "err", err)
@@ -343,8 +386,9 @@ func (s *Server) RunAntiEntropy(ctx context.Context, interval time.Duration) {
 // postPeerJSON is one bounded POST round trip to a peer daemon, decoding
 // the typed body of 200 and 409 answers into resp (409s carry positions on
 // the replication endpoints; an ErrorResponse body simply leaves resp
-// zero). The request id rides the hop like every other cluster call.
-func (s *Server) postPeerJSON(ctx context.Context, peer cluster.Peer, path string, req, resp interface{}) (int, error) {
+// zero). The request id rides the hop like every other cluster call; tp,
+// when non-empty, carries the sender's span in the Traceparent header.
+func (s *Server) postPeerJSON(ctx context.Context, peer cluster.Peer, path string, req, resp interface{}, tp string) (int, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return 0, err
@@ -357,6 +401,9 @@ func (s *Server) postPeerJSON(ctx context.Context, peer cluster.Peer, path strin
 	hreq.Header.Set("Content-Type", "application/json")
 	if id := obs.RequestID(ctx); id != "" {
 		hreq.Header.Set("X-Request-ID", id)
+	}
+	if tp != "" {
+		hreq.Header.Set(obs.TraceHeader, tp)
 	}
 	hresp, err := s.clusterClient.Do(hreq)
 	if err != nil {
@@ -396,6 +443,10 @@ type ReplicationStats struct {
 	// generation — it should stay 0 while compaction is disabled under
 	// replication.
 	GenerationLag int64
+	// ReplicaLag is the per-replica divergence computed from gossip-learned
+	// live positions (see cluster.ReplicaLag) — the /debug/vars view of what
+	// the smallworld_replication_replica_* gauges export.
+	ReplicaLag []cluster.ReplicaLag `json:",omitempty"`
 }
 
 // replicationStats fills the replication slice of ClusterStats (nil unless
@@ -405,15 +456,17 @@ func (s *Server) replicationStats() *ReplicationStats {
 	if log == nil {
 		return nil
 	}
+	pos := log.Position()
 	return &ReplicationStats{
 		Primary:           node.Replica() == 0,
-		Position:          log.Position(),
+		Position:          pos,
 		ShippedBatches:    s.shippedBatches.Load(),
 		ShipFailures:      s.shipFails.Load(),
 		ImportedBatches:   s.importedBatches.Load(),
 		AntiEntropyRounds: s.aeRounds.Load(),
 		AntiEntropyPulled: s.aePulled.Load(),
 		GenerationLag:     s.genLag.Load(),
+		ReplicaLag:        node.ReplicaLags(pos.Epoch, pos.Generation),
 	}
 }
 
@@ -445,4 +498,31 @@ func (s *Server) writeReplicationMetrics(p *obs.PromWriter) {
 	p.SampleInt("smallworld_replication_anti_entropy_pulled_total", nil, s.aePulled.Load())
 	p.Family("smallworld_replication_generation_lag_total", "counter", "Rounds that saw a same-shard peer on a later journal generation.")
 	p.SampleInt("smallworld_replication_generation_lag_total", nil, s.genLag.Load())
+
+	// Per-replica lag gauges from gossip-learned live positions. The epoch
+	// gauge is the peer's raw advertised position; batches_behind is the
+	// local-minus-peer delta on a shared generation (negative = peer ahead).
+	lags := node.ReplicaLags(pos.Epoch, pos.Generation)
+	if len(lags) == 0 {
+		return
+	}
+	peerLabel := func(id string) []obs.Label {
+		return []obs.Label{{Name: "peer", Value: id}}
+	}
+	p.Family("smallworld_replication_replica_epoch", "gauge", "Gossip-advertised overlay epoch of each same-shard replica.")
+	for _, l := range lags {
+		p.SampleInt("smallworld_replication_replica_epoch", peerLabel(l.Peer), int64(l.Epoch))
+	}
+	p.Family("smallworld_replication_replica_generation", "gauge", "Gossip-advertised journal generation of each same-shard replica.")
+	for _, l := range lags {
+		p.SampleInt("smallworld_replication_replica_generation", peerLabel(l.Peer), int64(l.Generation))
+	}
+	p.Family("smallworld_replication_replica_batches_behind", "gauge", "Local epoch minus replica epoch on a shared generation (positive = replica behind).")
+	for _, l := range lags {
+		p.SampleInt("smallworld_replication_replica_batches_behind", peerLabel(l.Peer), l.BatchesBehind)
+	}
+	p.Family("smallworld_replication_replica_generation_skew", "gauge", "Replica generation minus local generation (nonzero flags a misconfigured shard).")
+	for _, l := range lags {
+		p.SampleInt("smallworld_replication_replica_generation_skew", peerLabel(l.Peer), int64(l.GenerationSkew))
+	}
 }

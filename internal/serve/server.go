@@ -84,6 +84,12 @@ type Config struct {
 	// traces, exported on GET /debug/trace (see package obs). The tracer's
 	// own SampleRate decides which requests are captured.
 	Tracer *obs.Tracer
+	// Spans, when non-nil, samples requests into distributed phase spans
+	// (queue wait, local route, forward RPCs, hedge waits, ...), propagated
+	// over cluster RPCs via the Traceparent header and exported on GET
+	// /debug/trace after the episode traces. The span log's own SampleRate
+	// and Seed decide which requests trace and with what ids.
+	Spans *obs.SpanLog
 	// RequestIDSalt salts the generated request ids; 0 derives a salt from
 	// the process start time (tests pin it for reproducible ids).
 	RequestIDSalt uint64
@@ -181,6 +187,27 @@ type Server struct {
 	tracer *obs.Tracer
 	rids   *obs.RequestIDs
 
+	// Distributed tracing (nil spans = phase tracing off). traceSeq numbers
+	// entry requests for the deterministic sampling decision; localSeq
+	// numbers internally-initiated traces (anti-entropy, journal ships) on a
+	// separate id lane.
+	spans    *obs.SpanLog
+	traceSeq atomic.Uint64
+	localSeq atomic.Uint64
+
+	// Per-phase latency histograms behind smallworld_request_phase_seconds,
+	// indexed by the phase constants in trace.go; recorded whether or not the
+	// request is traced (atomic bumps, no allocation). hedgeWinLat times
+	// hedged attempts that won their race, failoverLat the full failover pass
+	// up to the non-first-choice success.
+	phaseLat    [phaseCount]obs.LatencyHist
+	hedgeWinLat obs.LatencyHist
+	failoverLat obs.LatencyHist
+
+	// Metrics federation counters (GET /cluster/metrics).
+	fedScrapes     atomic.Int64
+	fedScrapeFails atomic.Int64
+
 	drainMu  sync.RWMutex
 	inflight sync.WaitGroup
 	draining atomic.Bool
@@ -227,6 +254,7 @@ func New(cfg Config) *Server {
 		peerBreakers: map[peerKey]*Breaker{},
 		logger:       logger,
 		tracer:       c.Tracer,
+		spans:        c.Spans,
 		rids:         obs.NewRequestIDs(salt),
 	}
 	s.hedgeTimer = func(d time.Duration) (<-chan time.Time, func()) {
@@ -382,6 +410,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/cluster/gossip", s.handleClusterGossip)
 	mux.HandleFunc("/cluster/replicate", s.handleClusterReplicate)
 	mux.HandleFunc("/cluster/segment", s.handleClusterSegment)
+	mux.HandleFunc("/cluster/metrics", s.handleClusterMetrics)
 	return s.withRequestID(mux)
 }
 
@@ -455,6 +484,14 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 				Replica:       node.Replica(),
 				OwnedVertices: node.OwnedCount(),
 				Peers:         node.Members().Snapshot(),
+			}
+			// Replication visibility without Prometheus: the local log
+			// position plus each same-shard replica's gossip-learned position
+			// delta, so operators can see divergence straight off /readyz.
+			if log, _, _ := s.replicationLog(); log != nil {
+				pos := log.Position()
+				resp.Cluster.Live = &pos
+				resp.Cluster.ReplicaLag = node.ReplicaLags(pos.Epoch, pos.Generation)
 			}
 		}
 		writeJSON(w, http.StatusOK, resp)
@@ -534,20 +571,31 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The distributed trace starts at admission: the queue wait is the first
+	// phase of the request, and the sampling decision made here rides every
+	// forwarded hop via the Traceparent header.
+	rt := s.startEntryTrace()
+
 	// Admission: bounded concurrency, bounded queue, fast shedding.
+	qStart := time.Now()
 	if err := s.pool.Acquire(r.Context()); err != nil {
 		if err == ErrOverloaded {
+			rt.finish("shed")
 			logger.Warn("route shed", "reason", "overloaded",
 				"inflight", s.pool.InFlight(), "waiting", s.pool.Waiting())
 			writeError(w, http.StatusTooManyRequests, s.cfg.RetryAfter, "overloaded: %d in flight, %d queued",
 				s.pool.InFlight(), s.pool.Waiting())
 			return
 		}
+		rt.finish("cancelled while queued")
 		logger.Info("route rejected", "reason", "cancelled while queued", "err", err)
 		writeError(w, http.StatusServiceUnavailable, 0, "cancelled while queued: %v", err)
 		return
 	}
 	defer s.pool.Release()
+	queued := time.Since(qStart)
+	s.phaseLat[phaseQueue].Record(queued)
+	rt.add(obs.SpanQueueWait, qStart, queued, "", "", "")
 	logger.Debug("route admitted", "graph", graphName, "protocol", protoName,
 		"s", req.S, "t", req.T, "inflight", s.pool.InFlight(), "waiting", s.pool.Waiting())
 
@@ -556,7 +604,8 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	es := episodePool.Get().(*episodeState)
 	defer episodePool.Put(es)
 	req.Protocol = protoName
-	out := s.routeOne(r, nw, graphName, req, time.Now().Add(s.cfg.RequestTimeout), es, true)
+	out := s.routeOne(r, nw, graphName, req, time.Now().Add(s.cfg.RequestTimeout), es, true, rt, queued)
+	rt.finish(out.errMsg)
 	if out.errMsg != "" {
 		writeError(w, out.status, out.retryAfter, "%s", out.errMsg)
 		return

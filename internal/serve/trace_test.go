@@ -1,0 +1,396 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/torus"
+)
+
+// newTracedCluster is newReplicatedCluster with a per-daemon span log. The
+// service names are the stable "d0", "d1", ... spellings — not the httptest
+// addresses, whose random ports would defeat the bit-identical-ids assertion
+// across runs — and every request is sampled.
+func newTracedCluster(t *testing.T, nw *core.Network, specs []replicaSpec, cfg Config, mcfg cluster.Config) []*shardDaemon {
+	t.Helper()
+	daemons := make([]*shardDaemon, len(specs))
+	for i, spec := range specs {
+		p, err := torus.ParsePrefix(spec.shard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := cfg
+		c.RequestIDSalt = uint64(i + 1)
+		c.Spans = obs.NewSpanLog(obs.SpanLogConfig{
+			Service:    fmt.Sprintf("d%d", i),
+			Seed:       uint64(i + 1),
+			SampleRate: 1,
+		})
+		srv := New(c)
+		srv.AddNetwork(DefaultGraph, nw)
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		addr := strings.TrimPrefix(ts.URL, "http://")
+		mc := mcfg
+		mc.Replica = spec.replica
+		node, err := cluster.NewNode(nw.Graph, p, addr, mc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.EnableCluster(node, nil)
+		daemons[i] = &shardDaemon{srv: srv, ts: ts, node: node, addr: addr}
+	}
+	for _, d := range daemons {
+		for _, p := range daemons {
+			if p != d {
+				d.node.Members().Add(p.node.Self())
+			}
+		}
+	}
+	return daemons
+}
+
+// stitchedTrace is the test-side reconstruction of one trace across daemons.
+type stitchedTrace struct {
+	spans    []obs.PhaseSpan
+	roots    int
+	rootKind string
+	orphans  int
+	services map[string]bool
+}
+
+// stitchSpans merges every daemon's span log and groups by trace id,
+// verifying tree structure the way cmd/tracestitch's -check does.
+func stitchSpans(daemons []*shardDaemon) map[string]*stitchedTrace {
+	var all []obs.PhaseSpan
+	for _, d := range daemons {
+		all = append(all, d.srv.spans.Snapshot()...)
+	}
+	traces := map[string]*stitchedTrace{}
+	byID := map[string]map[string]bool{}
+	for _, sp := range all {
+		tr := traces[sp.Trace]
+		if tr == nil {
+			tr = &stitchedTrace{services: map[string]bool{}}
+			traces[sp.Trace] = tr
+			byID[sp.Trace] = map[string]bool{}
+		}
+		tr.spans = append(tr.spans, sp)
+		tr.services[sp.Service] = true
+		byID[sp.Trace][sp.ID] = true
+	}
+	for id, tr := range traces {
+		for _, sp := range tr.spans {
+			switch {
+			case sp.Parent == "":
+				tr.roots++
+				tr.rootKind = sp.Kind
+			case !byID[id][sp.Parent]:
+				tr.orphans++
+			}
+		}
+	}
+	return traces
+}
+
+// spanKey is the timing-free identity of one span — what must be
+// bit-identical across reruns of the same workload.
+func spanKey(sp obs.PhaseSpan) string {
+	return sp.Trace + "/" + sp.ID + "/" + sp.Parent + "/" + sp.Service + "/" + sp.Kind
+}
+
+// tracedWorkload drives the deterministic query mix of the propagation test
+// against a fresh traced cluster and returns the sorted span identity set
+// plus the stitched traces.
+func tracedWorkload(t *testing.T, seed uint64) ([]string, map[string]*stitchedTrace, int) {
+	t.Helper()
+	nw := testNetwork(t, 600, 11)
+	daemons := newTracedCluster(t, nw, []replicaSpec{{"0", 0}, {"10", 0}, {"11", 0}},
+		Config{RequestTimeout: 5 * time.Second}, cluster.Config{Seed: seed})
+
+	n := nw.Graph.N()
+	requests := 0
+	forwarded := 0
+	for i := 0; i < 30; i++ {
+		s := (i * 7919) % n
+		tt := (i*104729 + 13) % n
+		if s == tt {
+			continue
+		}
+		entry := daemons[i%len(daemons)]
+		status, got, er := clusterPost(t, entry.ts.URL, RouteRequest{S: s, T: tt})
+		if status != http.StatusOK {
+			t.Fatalf("pair (%d,%d): status %d (%s)", s, tt, status, er.Error)
+		}
+		requests++
+		if got.Forwards > 0 {
+			forwarded++
+		}
+		if got.Timings == nil {
+			t.Fatalf("pair (%d,%d): response carries no timings", s, tt)
+		}
+		if got.Timings.TotalUs < got.Timings.RouteUs {
+			t.Fatalf("pair (%d,%d): total %dus < route %dus", s, tt, got.Timings.TotalUs, got.Timings.RouteUs)
+		}
+	}
+	// One batch request: its items share the envelope's single trace.
+	batch := BatchRouteRequest{Items: []BatchItem{{S: 1, T: 99}, {S: 2, T: 77}, {S: 3, T: 55}}}
+	body, _ := json.Marshal(batch)
+	resp, err := http.Post(daemons[0].ts.URL+"/route/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var br BatchRouteResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	requests++
+	for _, it := range br.Items {
+		if it.Status == http.StatusOK && it.Timings == nil {
+			t.Fatal("batch item carries no timings")
+		}
+	}
+	if forwarded == 0 {
+		t.Fatal("no query crossed a shard boundary — the test exercised nothing")
+	}
+
+	traces := stitchSpans(daemons)
+	var keys []string
+	for _, tr := range traces {
+		for _, sp := range tr.spans {
+			keys = append(keys, spanKey(sp))
+		}
+	}
+	sort.Strings(keys)
+	return keys, traces, requests
+}
+
+// TestClusterTracePropagation pins the tentpole invariant: every request
+// through a 3-shard cluster yields exactly one connected span tree — one
+// request-kind root, no orphans — with forwarded walks spanning multiple
+// daemons, and rerunning the identical workload at a different GOMAXPROCS
+// reproduces the identical trace and span ids.
+func TestClusterTracePropagation(t *testing.T) {
+	keys1, traces, requests := tracedWorkload(t, 4)
+
+	if len(traces) != requests {
+		t.Fatalf("%d traces for %d requests (sample rate 1)", len(traces), requests)
+	}
+	multi := 0
+	for id, tr := range traces {
+		if tr.roots != 1 {
+			t.Fatalf("trace %s: %d roots, want exactly 1", id, tr.roots)
+		}
+		if tr.rootKind != obs.SpanRequest {
+			t.Fatalf("trace %s: root kind %q, want %q", id, tr.rootKind, obs.SpanRequest)
+		}
+		if tr.orphans != 0 {
+			t.Fatalf("trace %s: %d orphan spans", id, tr.orphans)
+		}
+		if len(tr.services) >= 2 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no trace spans two daemons — Traceparent propagation is broken")
+	}
+
+	// Same workload, fresh cluster, restricted parallelism: the ids are pure
+	// hashes of (seed, sequence, service), so the identity sets must match
+	// bit for bit.
+	old := runtime.GOMAXPROCS(1)
+	keys2, _, _ := tracedWorkload(t, 4)
+	runtime.GOMAXPROCS(old)
+	if len(keys1) != len(keys2) {
+		t.Fatalf("rerun produced %d spans, first run %d", len(keys2), len(keys1))
+	}
+	for i := range keys1 {
+		if keys1[i] != keys2[i] {
+			t.Fatalf("span identity diverged across reruns:\n  run1: %s\n  run2: %s", keys1[i], keys2[i])
+		}
+	}
+}
+
+// TestHedgedTraceConnected pins the orphan-prevention rule on the hedge
+// path: when a hedged forward is cancelled because the other attempt won,
+// the loser's forward_rpc span is still published (err "cancelled"), so a
+// hop tree recorded by the losing peer keeps a recorded parent.
+func TestHedgedTraceConnected(t *testing.T) {
+	nw := testNetwork(t, 600, 11)
+	cfg := Config{
+		Workers: 4, RequestTimeout: 3 * time.Second,
+		HedgeAfter: 10 * time.Millisecond,
+		Retry:      RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond, Seed: 5},
+	}
+	daemons := newTracedCluster(t, nw,
+		[]replicaSpec{{"0", 0}, {"1", 1}},
+		cfg, cluster.Config{Seed: 3})
+	entry, survivor := daemons[0], daemons[1]
+
+	// Shard 1's replica 0 is a tarpit (accepts the hop, answers only when
+	// cancelled), so every forward to shard 1 hedges onto the survivor.
+	tarpit := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		<-r.Context().Done()
+	}))
+	defer tarpit.Close()
+	tarpitPeer := cluster.Peer{
+		ID:          strings.TrimPrefix(tarpit.URL, "http://"),
+		Shard:       "1",
+		Fingerprint: entry.node.Self().Fingerprint,
+		Replica:     0,
+	}
+	entry.node.Members().Add(tarpitPeer)
+	survivor.node.Members().Add(tarpitPeer)
+	entry.srv.hedgeTimer = func(d time.Duration) (<-chan time.Time, func()) {
+		ch := make(chan time.Time, 1)
+		ch <- time.Time{}
+		return ch, func() {}
+	}
+
+	n := nw.Graph.N()
+	hedged := 0
+	for i := 0; i < 30 && hedged == 0; i++ {
+		s := (i * 7919) % n
+		tt := (i*104729 + 13) % n
+		if s == tt {
+			continue
+		}
+		status, got, er := clusterPost(t, entry.ts.URL, RouteRequest{S: s, T: tt})
+		if status != http.StatusOK {
+			t.Fatalf("pair (%d,%d): status %d (%s)", s, tt, status, er.Error)
+		}
+		if got.Hedges > 0 {
+			hedged++
+		}
+	}
+	if hedged == 0 {
+		t.Fatal("no episode ever hedged")
+	}
+
+	traces := stitchSpans(daemons)
+	sawHedge, sawCancelled := false, false
+	for id, tr := range traces {
+		if tr.roots != 1 || tr.orphans != 0 {
+			t.Fatalf("trace %s: roots=%d orphans=%d, want 1/0", id, tr.roots, tr.orphans)
+		}
+		for _, sp := range tr.spans {
+			if sp.Kind == obs.SpanHedgeWait {
+				sawHedge = true
+			}
+			if sp.Kind == obs.SpanForwardRPC && sp.Err == "cancelled" {
+				sawCancelled = true
+			}
+		}
+	}
+	if !sawHedge {
+		t.Fatal("no hedge_wait span recorded")
+	}
+	if !sawCancelled {
+		t.Fatal("no cancelled loser forward_rpc span recorded — hop trees on the losing peer would orphan")
+	}
+}
+
+// TestDebugTraceServesSpans pins the /debug/trace contract: with a span log
+// and no episode tracer, the endpoint answers 200 with one JSON line per
+// span (a "trace" key), and the per-phase histograms appear on /metrics.
+func TestDebugTraceServesSpans(t *testing.T) {
+	nw := testNetwork(t, 300, 5)
+	srv := New(Config{
+		RequestTimeout: 2 * time.Second,
+		Spans:          obs.NewSpanLog(obs.SpanLogConfig{Service: "solo", Seed: 7, SampleRate: 1}),
+	})
+	srv.AddNetwork(DefaultGraph, nw)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if _, _, er := postRoute(t, ts.URL, RouteRequest{S: 1, T: 42}); er.Error != "" {
+		t.Fatalf("route failed: %s", er.Error)
+	}
+	resp, err := http.Get(ts.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/trace: status %d", resp.StatusCode)
+	}
+	lines := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var sp obs.PhaseSpan
+		if err := json.Unmarshal(sc.Bytes(), &sp); err != nil || sp.Trace == "" {
+			t.Fatalf("non-span line on /debug/trace: %s", sc.Text())
+		}
+		lines++
+	}
+	if lines < 2 {
+		t.Fatalf("%d span lines, want at least root + queue/route phases", lines)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`smallworld_request_phase_seconds_bucket{phase="queue_wait"`,
+		`smallworld_request_phase_seconds_bucket{phase="local_route"`,
+		"smallworld_trace_spans_published_total",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("/metrics is missing %q", want)
+		}
+	}
+}
+
+// TestSpanIDDeterminism pins the pure-hash id derivation itself under
+// concurrency: hammering SpanID/DistTraceID from many goroutines yields the
+// same values a serial loop computes.
+func TestSpanIDDeterminism(t *testing.T) {
+	const lanes = 8
+	var wg sync.WaitGroup
+	got := make([][]string, lanes)
+	for l := 0; l < lanes; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			ids := make([]string, 64)
+			for i := range ids {
+				trace := obs.DistTraceID(42, uint64(i))
+				ids[i] = trace + ":" + obs.SpanID(trace, "svc", uint64(i%7))
+			}
+			got[l] = ids
+		}(l)
+	}
+	wg.Wait()
+	for l := 1; l < lanes; l++ {
+		for i := range got[0] {
+			if got[l][i] != got[0][i] {
+				t.Fatalf("lane %d diverged at %d: %s != %s", l, i, got[l][i], got[0][i])
+			}
+		}
+	}
+}
